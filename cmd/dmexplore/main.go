@@ -1,0 +1,366 @@
+// Command dmexplore runs the automated exploration of dynamic-memory
+// allocator configurations for a workload on a target memory hierarchy,
+// reduces the sweep to its Pareto-optimal set and emits CSV/Gnuplot
+// reports — the end-to-end flow of the paper's tool.
+//
+// Examples:
+//
+//	dmexplore -workload easyport -space narrow -out results/
+//	dmexplore -workload vtc -sample 2000 -space full
+//	dmexplore -workload easyport -objectives energy,cycles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"dmexplore/internal/core"
+	"dmexplore/internal/memhier"
+	"dmexplore/internal/pareto"
+	"dmexplore/internal/profile"
+	"dmexplore/internal/report"
+	"dmexplore/internal/trace"
+	"dmexplore/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dmexplore:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dmexplore", flag.ContinueOnError)
+	var (
+		workloadName = fs.String("workload", "easyport", "workload: "+strings.Join(workload.Names(), "|"))
+		scale        = fs.Int("scale", 100, "workload scale in percent of the default trace length")
+		seed         = fs.Uint64("seed", 1, "workload RNG seed")
+		spaceKind    = fs.String("space", "narrow", "configuration space: narrow|full|auto (auto derives pools from the workload's profile)")
+		spaceFile    = fs.String("spacefile", "", "JSON space specification file (overrides -space)")
+		sample       = fs.Int("sample", 0, "profile only N sampled configurations (0 = exhaustive)")
+		sampleSeed   = fs.Uint64("sample-seed", 1, "sampling RNG seed")
+		strategy     = fs.String("strategy", "exhaustive", "search strategy: exhaustive|screen|evolve (-sample = screening size / population, -budget = total simulations)")
+		budget       = fs.Int("budget", 0, "screen strategy: total simulation budget")
+		objectives   = fs.String("objectives", "accesses,footprint", "comma-separated minimization objectives")
+		hierName     = fs.String("hierarchy", "soc", "memory hierarchy: soc|soc3|flat")
+		workers      = fs.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+		outDir       = fs.String("out", "", "directory for CSV/Gnuplot reports (none when empty)")
+		cachePath    = fs.String("cache", "", "results cache file: resume interrupted sweeps, skip repeated configurations")
+		tracePath    = fs.String("trace", "", "replay a trace file instead of generating the workload")
+		quiet        = fs.Bool("quiet", false, "suppress progress output")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	hier, err := pickHierarchy(*hierName)
+	if err != nil {
+		return err
+	}
+	var tr *trace.Trace
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			return err
+		}
+		tr, err = trace.ReadAuto(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if err := tr.Validate(); err != nil {
+			return fmt.Errorf("trace %s: %w", *tracePath, err)
+		}
+	} else {
+		gen, err := workload.New(*workloadName, *seed, *scale)
+		if err != nil {
+			return err
+		}
+		tr, err = gen.Generate()
+		if err != nil {
+			return err
+		}
+	}
+	var space *core.Space
+	if *spaceKind == "auto" && *spaceFile == "" {
+		prof := trace.Analyze(tr)
+		space, err = core.SuggestSpace(*workloadName+"-auto", prof, hier)
+		if err != nil {
+			return err
+		}
+	} else if *spaceFile != "" {
+		f, err := os.Open(*spaceFile)
+		if err != nil {
+			return err
+		}
+		space, err = core.LoadSpaceSpec(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		space, err = pickSpace(*workloadName, *spaceKind)
+		if err != nil {
+			return err
+		}
+	}
+	objs := strings.Split(*objectives, ",")
+	for i := range objs {
+		objs[i] = strings.TrimSpace(objs[i])
+	}
+	if len(objs) < 2 {
+		return fmt.Errorf("need at least two objectives, got %q", *objectives)
+	}
+
+	fmt.Fprintf(out, "workload   %s (%d events)\n", tr.Name, tr.Len())
+	fmt.Fprintf(out, "hierarchy  %s\n", hier)
+	fmt.Fprintf(out, "space      %s: %d configurations", space.Name, space.Size())
+	if *sample > 0 && *sample < space.Size() {
+		fmt.Fprintf(out, " (sampling %d)", *sample)
+	}
+	fmt.Fprintln(out)
+
+	runner := &core.Runner{Hierarchy: hier, Trace: tr, Workers: *workers}
+	if *cachePath != "" {
+		cache, err := core.OpenResultsCache(*cachePath)
+		if err != nil {
+			return err
+		}
+		runner.Cache = cache
+		fmt.Fprintf(out, "cache      %s (%d entries)\n", *cachePath, cache.Len())
+		defer func() {
+			if err := cache.Save(); err != nil {
+				fmt.Fprintf(out, "warning: saving cache: %v\n", err)
+			}
+		}()
+	}
+	if !*quiet {
+		total := space.Size()
+		if *sample > 0 && *sample < total {
+			total = *sample
+		}
+		step := total / 20
+		if step == 0 {
+			step = 1
+		}
+		runner.Progress = func(done, totalN int) {
+			if done%step == 0 || done == totalN {
+				fmt.Fprintf(out, "\r  profiled %d/%d", done, totalN)
+				if done == totalN {
+					fmt.Fprintln(out)
+				}
+			}
+		}
+	}
+
+	start := time.Now()
+	var results []core.Result
+	switch {
+	case *strategy == "screen":
+		screen := *sample
+		if screen <= 0 {
+			screen = 64
+		}
+		total := *budget
+		if total <= 0 {
+			total = 4 * screen
+		}
+		results, err = runner.ScreenAndRefine(space, objs, screen, total, *sampleSeed)
+	case *strategy == "evolve":
+		pop := *sample
+		if pop <= 0 {
+			pop = 32
+		}
+		if pop%2 != 0 {
+			pop++
+		}
+		total := *budget
+		if total <= 0 {
+			total = 16 * pop
+		}
+		results, err = runner.Evolve(space, objs, core.EvolveOptions{
+			Population: pop, Budget: total, Seed: *sampleSeed,
+		})
+	case *strategy != "exhaustive":
+		return fmt.Errorf("unknown strategy %q", *strategy)
+	case *sample > 0:
+		results, err = runner.Sample(space, *sample, *sampleSeed)
+	default:
+		results, err = runner.Explore(space)
+	}
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	feasible := core.Feasible(results)
+	front, points, err := core.ParetoSet(feasible, objs)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "\nexplored %d configurations in %v (%d feasible)\n",
+		len(results), elapsed.Round(time.Millisecond), len(feasible))
+	for _, obj := range objs {
+		r, err := core.Range(feasible, obj)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "  %-10s range %.4g .. %.4g  (factor %.1f)\n", obj, r.Min, r.Max, r.Factor)
+	}
+	fmt.Fprintf(out, "\nPareto-optimal configurations: %d\n", len(front))
+	for _, obj := range objs {
+		f, err := core.ParetoImprovement(front, obj)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "  %-10s trade-off factor %.2f (up to %.1f%% reduction within the front)\n",
+			obj, f, core.ReductionPercent(f))
+	}
+	// The paper's §3 also reports how much energy and execution time vary
+	// across the Pareto set even when they are not the front's objectives
+	// (picking the right trade-off point saves energy/time too).
+	for _, extra := range []string{profile.ObjEnergy, profile.ObjCycles} {
+		if contains(objs, extra) {
+			continue
+		}
+		f, err := core.ParetoImprovement(front, extra)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "  %-10s varies by factor %.2f across the front (up to %.2f%% reduction)\n",
+			extra, f, core.ReductionPercent(f))
+	}
+	if k := pareto.Knee(points); k >= 0 && len(front) > 0 {
+		knee := front[min(k, len(front)-1)]
+		fmt.Fprintf(out, "  knee: config %d %v\n", knee.Index, knee.Labels)
+	}
+	fmt.Fprintln(out, "\nfront (index, labels, objectives):")
+	for _, r := range front {
+		fmt.Fprintf(out, "  #%-6d %-60s", r.Index, strings.Join(r.Labels, ","))
+		for _, obj := range objs {
+			v, _ := r.Metrics.Objective(obj)
+			fmt.Fprintf(out, " %s=%.4g", obj, v)
+		}
+		fmt.Fprintln(out)
+	}
+
+	if *outDir != "" {
+		if err := writeReports(*outDir, space, results, feasible, front, objs); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nreports written to %s\n", *outDir)
+	}
+	return nil
+}
+
+func pickHierarchy(name string) (*memhier.Hierarchy, error) {
+	switch name {
+	case "soc":
+		return memhier.EmbeddedSoC(), nil
+	case "soc3":
+		return memhier.EmbeddedSoC3Level(), nil
+	case "flat":
+		return memhier.FlatDRAM(), nil
+	default:
+		return nil, fmt.Errorf("unknown hierarchy %q", name)
+	}
+}
+
+func pickSpace(workloadName, kind string) (*core.Space, error) {
+	switch workloadName + "/" + kind {
+	case "easyport/narrow", "synthetic/narrow":
+		return core.EasyportSpace(), nil
+	case "easyport/full", "synthetic/full":
+		return core.FullEasyportSpace(), nil
+	case "vtc/narrow":
+		return core.VTCSpace(), nil
+	case "vtc/full":
+		return core.FullEasyportSpace(), nil // full product applies to any workload
+	default:
+		return nil, fmt.Errorf("no %s space for workload %s", kind, workloadName)
+	}
+}
+
+func writeReports(dir string, space *core.Space, all, feasible, front []core.Result, objs []string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	resultsPath := filepath.Join(dir, "results.csv")
+	f, err := os.Create(resultsPath)
+	if err != nil {
+		return err
+	}
+	if err := report.WriteResultsCSV(f, space.AxisLabels(), all); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+
+	if len(objs) >= 2 {
+		datPath := filepath.Join(dir, "pareto.dat")
+		df, err := os.Create(datPath)
+		if err != nil {
+			return err
+		}
+		if err := report.WriteParetoDat(df, feasible, front, objs[0], objs[1]); err != nil {
+			df.Close()
+			return err
+		}
+		if err := df.Close(); err != nil {
+			return err
+		}
+		pf, err := os.Create(filepath.Join(dir, "pareto.plt"))
+		if err != nil {
+			return err
+		}
+		title := fmt.Sprintf("%s: Pareto-optimal DM allocator configurations", space.Name)
+		if err := report.WriteGnuplotScript(pf, datPath, title, objs[0], objs[1]); err != nil {
+			pf.Close()
+			return err
+		}
+		if err := pf.Close(); err != nil {
+			return err
+		}
+	}
+
+	md, err := report.MarkdownSummary(space.Name, feasible, front, objs)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "summary.md"), []byte(md), 0o644); err != nil {
+		return err
+	}
+
+	hf, err := os.Create(filepath.Join(dir, "report.html"))
+	if err != nil {
+		return err
+	}
+	defer hf.Close()
+	title := fmt.Sprintf("%s exploration report", space.Name)
+	return report.WriteHTML(hf, title, space.AxisLabels(), feasible, front, objs[0], objs[1])
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSmallExploration(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-workload", "easyport", "-scale", "5", "-quiet",
+		"-sample", "24",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"explored 24 configurations",
+		"Pareto-optimal configurations:",
+		"accesses", "footprint", "energy", "cycles", "knee:",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunWritesReports(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := run([]string{
+		"-workload", "vtc", "-scale", "10", "-quiet",
+		"-sample", "16", "-out", dir,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"results.csv", "pareto.dat", "pareto.plt", "summary.md", "report.html"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("missing report %s: %v", f, err)
+		}
+	}
+}
+
+func TestRunScreenStrategy(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-workload", "easyport", "-scale", "5", "-quiet",
+		"-strategy", "screen", "-sample", "16", "-budget", "48",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "explored 48 configurations") {
+		t.Fatalf("screen output:\n%s", out.String())
+	}
+}
+
+func TestRunSpaceFile(t *testing.T) {
+	spec := `{
+	  "name": "cli-spec",
+	  "base": {"general": {"layer": "main-dram", "classes": "single",
+	    "fit": "first", "order": "lifo", "links": "single",
+	    "split": "always", "coalesce": "immediate", "headers": "btag",
+	    "growth": "chunk", "chunk_bytes": 8192}},
+	  "axes": [{"name": "fit", "options": [
+	    {"label": "first", "general": {"fit": "first"}},
+	    {"label": "best", "general": {"fit": "best"}}]},
+	   {"name": "order", "options": [
+	    {"label": "lifo", "general": {"order": "lifo"}},
+	    {"label": "addr", "general": {"order": "addr"}}]}]
+	}`
+	path := filepath.Join(t.TempDir(), "space.json")
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := run([]string{
+		"-workload", "synthetic", "-scale", "10", "-quiet",
+		"-spacefile", path,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "cli-spec: 4 configurations") {
+		t.Fatalf("spacefile output:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-workload", "nope"},
+		{"-hierarchy", "nope"},
+		{"-objectives", "accesses"},
+		{"-objectives", "accesses,bogus", "-scale", "5", "-sample", "4"},
+		{"-strategy", "bogus"},
+		{"-spacefile", "/nonexistent/space.json"},
+		{"-space", "bogus"},
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(append(args, "-quiet"), &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestPresets(t *testing.T) {
+	for _, preset := range []string{"kingsley", "lea", "firstfit"} {
+		var out bytes.Buffer
+		err := run([]string{"-workload", "easyport", "-scale", "5", "-preset", preset}, &out)
+		if err != nil {
+			t.Fatalf("%s: %v", preset, err)
+		}
+		s := out.String()
+		for _, want := range []string{"config      " + preset, "accesses", "footprint", "energy", "mallocs"} {
+			if !strings.Contains(s, want) {
+				t.Fatalf("%s output missing %q:\n%s", preset, want, s)
+			}
+		}
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-workload", "vtc", "-scale", "10", "-preset", "lea", "-json"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(out.Bytes(), &m); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if m["Accesses"] == nil || m["PerLayer"] == nil {
+		t.Fatalf("JSON missing fields: %v", m)
+	}
+}
+
+func TestConfigFile(t *testing.T) {
+	cfg := `{
+	  "label": "from-file",
+	  "fixed": [{"slot_bytes": 74, "match_lo": 74, "match_hi": 74,
+	    "layer": "L1-scratchpad", "order": "lifo", "links": "single",
+	    "growth": "chunk", "chunk_slots": 64, "max_bytes": 16384}],
+	  "general": {"layer": "main-dram", "classes": "pow2:16:65536",
+	    "fit": "first", "order": "lifo", "links": "single",
+	    "split": "never", "coalesce": "never", "headers": "minimal",
+	    "growth": "chunk", "chunk_bytes": 8192, "round_to_class": true}
+	}`
+	path := filepath.Join(t.TempDir(), "cfg.json")
+	if err := os.WriteFile(path, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := run([]string{"-workload", "easyport", "-scale", "5", "-config", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "from-file") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+	// The scratchpad must show traffic (74B pool mapped there).
+	if !strings.Contains(out.String(), "L1-scratchpad") {
+		t.Fatal("no scratchpad row")
+	}
+}
+
+func TestLogEmission(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.log")
+	var out bytes.Buffer
+	err := run([]string{"-workload", "easyport", "-scale", "5", "-preset", "kingsley", "-log", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() == 0 {
+		t.Fatal("empty log")
+	}
+}
+
+func TestCacheFlag(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-workload", "easyport", "-scale", "5", "-preset", "lea",
+		"-cache", "4096:8:4"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bad bytes.Buffer
+	if err := run([]string{"-workload", "easyport", "-scale", "5", "-preset", "lea",
+		"-cache", "garbage"}, &bad); err == nil {
+		t.Fatal("bad cache spec accepted")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{},                                 // no preset/config
+		{"-preset", "nope"},                // unknown preset
+		{"-preset", "lea", "-config", "x"}, // mutually exclusive
+		{"-config", "/nonexistent.json"},   // missing file
+		{"-workload", "nope", "-preset", "lea"},
+		{"-hierarchy", "nope", "-preset", "lea"},
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

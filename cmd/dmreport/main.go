@@ -1,0 +1,144 @@
+// Command dmreport post-processes exploration results without re-running
+// any simulation — the counterpart of the paper's separate Perl/O'Caml
+// result parser. It reads a results.csv written by dmexplore, recomputes
+// ranges and Pareto fronts for any objective pair, and emits the same
+// report set (summary, Gnuplot data and script, HTML).
+//
+// Examples:
+//
+//	dmreport -in results/results.csv -axes 7
+//	dmreport -in results/results.csv -axes 7 -objectives energy,cycles -out rep/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dmexplore/internal/core"
+	"dmexplore/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dmreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dmreport", flag.ContinueOnError)
+	var (
+		inPath     = fs.String("in", "", "results CSV written by dmexplore (required)")
+		axes       = fs.Int("axes", 0, "number of leading axis-label columns in the CSV (required)")
+		objectives = fs.String("objectives", "accesses,footprint", "comma-separated minimization objectives")
+		outDir     = fs.String("out", "", "directory for regenerated reports (none when empty)")
+		title      = fs.String("title", "dmreport", "report title")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *inPath == "" {
+		return fmt.Errorf("need -in results.csv")
+	}
+	if *axes <= 0 {
+		return fmt.Errorf("need -axes (the CSV's leading label column count)")
+	}
+	objs := strings.Split(*objectives, ",")
+	for i := range objs {
+		objs[i] = strings.TrimSpace(objs[i])
+	}
+	if len(objs) < 2 {
+		return fmt.Errorf("need at least two objectives")
+	}
+
+	f, err := os.Open(*inPath)
+	if err != nil {
+		return err
+	}
+	results, err := report.ReadResultsCSV(f, *axes)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	feasible := core.Feasible(results)
+	front, _, err := core.ParetoSet(feasible, objs)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "results    %d rows, %d feasible\n", len(results), len(feasible))
+	for _, obj := range objs {
+		r, err := core.Range(feasible, obj)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "  %-10s range %.4g .. %.4g (factor %.2f)\n", obj, r.Min, r.Max, r.Factor)
+	}
+	fmt.Fprintf(out, "Pareto front: %d configurations\n", len(front))
+	for _, obj := range objs {
+		fct, err := core.ParetoImprovement(front, obj)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "  %-10s trade-off factor %.2f (%.1f%% reduction)\n",
+			obj, fct, core.ReductionPercent(fct))
+	}
+
+	if *outDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+	axisNames := make([]string, *axes)
+	for i := range axisNames {
+		axisNames[i] = fmt.Sprintf("axis%d", i)
+	}
+	datPath := filepath.Join(*outDir, "pareto.dat")
+	df, err := os.Create(datPath)
+	if err != nil {
+		return err
+	}
+	err = report.WriteParetoDat(df, feasible, front, objs[0], objs[1])
+	if cerr := df.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	pf, err := os.Create(filepath.Join(*outDir, "pareto.plt"))
+	if err != nil {
+		return err
+	}
+	err = report.WriteGnuplotScript(pf, datPath, *title, objs[0], objs[1])
+	if cerr := pf.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	hf, err := os.Create(filepath.Join(*outDir, "report.html"))
+	if err != nil {
+		return err
+	}
+	err = report.WriteHTML(hf, *title, axisNames, feasible, front, objs[0], objs[1])
+	if cerr := hf.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	md, err := report.MarkdownSummary(*title, feasible, front, objs)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(*outDir, "summary.md"), []byte(md), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "reports written to %s\n", *outDir)
+	return nil
+}

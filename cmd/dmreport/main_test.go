@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dmexplore/internal/core"
+	"dmexplore/internal/profile"
+	"dmexplore/internal/report"
+)
+
+func writeSampleCSV(t *testing.T) string {
+	t.Helper()
+	results := []core.Result{
+		{Index: 0, Labels: []string{"none", "single"}, Metrics: &profile.Metrics{
+			ConfigLabel: "a", Accesses: 100, FootprintBytes: 5000,
+			EnergyNJ: 10, Cycles: 1000, PeakRequestedBytes: 100,
+		}},
+		{Index: 1, Labels: []string{"d74", "pow2"}, Metrics: &profile.Metrics{
+			ConfigLabel: "b", Accesses: 50, FootprintBytes: 9000,
+			EnergyNJ: 7, Cycles: 900, PeakRequestedBytes: 100,
+		}},
+		{Index: 2, Labels: []string{"d74", "single"}, Metrics: &profile.Metrics{
+			ConfigLabel: "c", Accesses: 200, FootprintBytes: 9500,
+			EnergyNJ: 20, Cycles: 2000, PeakRequestedBytes: 100,
+		}},
+	}
+	path := filepath.Join(t.TempDir(), "results.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := report.WriteResultsCSV(f, []string{"pools", "classes"}, results); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReportFromCSV(t *testing.T) {
+	path := writeSampleCSV(t)
+	var out bytes.Buffer
+	if err := run([]string{"-in", path, "-axes", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "3 rows, 3 feasible") {
+		t.Fatalf("output:\n%s", s)
+	}
+	// Config 2 is dominated by config 0: front is 2 configurations.
+	if !strings.Contains(s, "Pareto front: 2 configurations") {
+		t.Fatalf("front wrong:\n%s", s)
+	}
+}
+
+func TestReportWritesFiles(t *testing.T) {
+	path := writeSampleCSV(t)
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-in", path, "-axes", "2", "-out", dir,
+		"-objectives", "energy,cycles"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"pareto.dat", "pareto.plt", "report.html", "summary.md"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("missing %s: %v", f, err)
+		}
+	}
+}
+
+func TestReportErrors(t *testing.T) {
+	path := writeSampleCSV(t)
+	cases := [][]string{
+		{},            // no input
+		{"-in", path}, // no axes
+		{"-in", "/nonexistent", "-axes", "2"},
+		{"-in", path, "-axes", "2", "-objectives", "accesses"},
+		{"-in", path, "-axes", "5"}, // wrong axis count
+		{"-in", path, "-axes", "2", "-objectives", "bogus,accesses"},
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

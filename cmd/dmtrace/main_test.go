@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenerateAndStats(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-workload", "easyport", "-scale", "5", "-stats"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"trace easyport", "allocs", "peak live", "dominant sizes", "74B"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestWriteAndReadBack(t *testing.T) {
+	dir := t.TempDir()
+	for _, format := range []string{"binary", "text"} {
+		path := filepath.Join(dir, "trace."+format)
+		var out bytes.Buffer
+		if err := run([]string{"-workload", "synthetic", "-scale", "5", "-format", format, "-o", path}, &out); err != nil {
+			t.Fatalf("%s write: %v", format, err)
+		}
+		if _, err := os.Stat(path); err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		out.Reset()
+		if err := run([]string{"-in", path, "-stats"}, &out); err != nil {
+			t.Fatalf("%s read: %v", format, err)
+		}
+		if !strings.Contains(out.String(), "allocs") {
+			t.Fatalf("%s stats:\n%s", format, out.String())
+		}
+	}
+}
+
+func TestBinaryDenserOnDisk(t *testing.T) {
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "t.dmt")
+	txt := filepath.Join(dir, "t.trace")
+	var out bytes.Buffer
+	if err := run([]string{"-workload", "vtc", "-scale", "10", "-o", bin}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-workload", "vtc", "-scale", "10", "-format", "text", "-o", txt}, &out); err != nil {
+		t.Fatal(err)
+	}
+	bi, _ := os.Stat(bin)
+	ti, _ := os.Stat(txt)
+	if bi.Size() >= ti.Size() {
+		t.Fatalf("binary %d not denser than text %d", bi.Size(), ti.Size())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{},                          // neither -workload nor -in
+		{"-workload", "nope"},       // unknown workload
+		{"-in", "/nonexistent.dmt"}, // missing file
+		{"-workload", "easyport", "-scale", "5", "-format", "nope", "-o", "/tmp/x"},
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+// Easyport case study: the paper's first experiment end-to-end — explore
+// the allocator configuration space for a wireless-network packet
+// workload, extract the Pareto front over (memory accesses, memory
+// footprint), and report the ranges and the trade-offs within the front.
+//
+//	go run ./examples/easyport [-scale 25]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"dmexplore/internal/core"
+	"dmexplore/internal/memhier"
+	"dmexplore/internal/profile"
+	"dmexplore/internal/workload"
+)
+
+func main() {
+	scale := flag.Int("scale", 25, "workload scale in percent of the full trace")
+	flag.Parse()
+
+	params := workload.DefaultEasyportParams()
+	params.Packets = params.Packets * *scale / 100
+	tr, err := params.Generate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Easyport workload: %d packets, %d trace events\n", params.Packets, tr.Len())
+
+	runner := &core.Runner{Hierarchy: memhier.EmbeddedSoC(), Trace: tr}
+	space := core.EasyportSpace()
+	fmt.Printf("exploring %d configurations...\n", space.Size())
+	results, err := runner.Explore(space)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	feasible := core.Feasible(results)
+	objectives := []string{profile.ObjAccesses, profile.ObjFootprint}
+	front, _, err := core.ParetoSet(feasible, objectives)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%d feasible configurations\n", len(feasible))
+	for _, obj := range objectives {
+		r, err := core.Range(feasible, obj)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s spread across the sweep: factor %.1f\n", obj, r.Factor)
+	}
+
+	fmt.Printf("\nPareto front: %d configurations\n", len(front))
+	for _, obj := range []string{profile.ObjAccesses, profile.ObjFootprint, profile.ObjEnergy, profile.ObjCycles} {
+		f, err := core.ParetoImprovement(front, obj)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-9s: up to %.1f%% reduction by choosing along the front\n",
+			obj, core.ReductionPercent(f))
+	}
+
+	fmt.Println("\nthe front, cheapest-accesses first:")
+	for _, r := range front {
+		fmt.Printf("  accesses=%-9d footprint=%-8d  %v\n",
+			r.Metrics.Accesses, r.Metrics.FootprintBytes, r.Labels)
+	}
+}

@@ -1,0 +1,62 @@
+// Quickstart: profile two dynamic-memory allocator configurations against
+// the same workload and compare the paper's four metrics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dmexplore/internal/alloc"
+	"dmexplore/internal/memhier"
+	"dmexplore/internal/profile"
+	"dmexplore/internal/workload"
+)
+
+func main() {
+	// 1. A platform: 64 KB scratchpad + 4 MB SDRAM.
+	hier := memhier.EmbeddedSoC()
+
+	// 2. A workload: a synthetic allocation mix (deterministic by seed).
+	params := workload.DefaultSyntheticParams()
+	params.Ops = 10000
+	tr, err := params.Generate()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Two configurations: a Lea-style general-purpose heap, and a
+	// custom allocator with a dedicated 74-byte pool on the scratchpad.
+	baseline := alloc.LeaConfig(memhier.LayerDRAM)
+	custom := alloc.Config{
+		Label: "custom-d74@scratchpad",
+		Fixed: []alloc.FixedConfig{{
+			SlotBytes: 74, MatchLo: 74, MatchHi: 74,
+			Layer: memhier.LayerScratchpad,
+			Order: alloc.LIFO, Links: alloc.SingleLink,
+			Growth: alloc.GrowFixedChunk, ChunkSlots: 128,
+			MaxBytes: 32 * 1024,
+		}},
+		General: alloc.GeneralConfig{
+			Layer:   memhier.LayerDRAM,
+			Classes: "pow2:16:65536", RoundToClass: true,
+			Fit: alloc.FirstFit, Order: alloc.LIFO, Links: alloc.SingleLink,
+			Split: alloc.SplitNever, Coalesce: alloc.CoalesceNever,
+			Headers: alloc.HeaderMinimal, Growth: alloc.GrowFixedChunk,
+			ChunkBytes: 8 * 1024,
+		},
+	}
+
+	fmt.Printf("workload: %s (%d events)\n", tr.Name, tr.Len())
+	fmt.Printf("%-24s %12s %12s %12s %12s\n",
+		"configuration", "accesses", "footprint", "energy(uJ)", "cycles")
+	for _, cfg := range []alloc.Config{baseline, custom} {
+		m, err := profile.Run(tr, cfg, hier, profile.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-24s %12d %12d %12.1f %12d\n",
+			cfg.Label, m.Accesses, m.FootprintBytes, m.EnergyNJ/1000, m.Cycles)
+	}
+}

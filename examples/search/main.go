@@ -1,0 +1,95 @@
+// Search strategies: approximate the Pareto front of a large
+// configuration space with a fraction of the simulations an exhaustive
+// sweep needs, and compare the approximation against the true front.
+//
+//	go run ./examples/search
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dmexplore/internal/core"
+	"dmexplore/internal/memhier"
+	"dmexplore/internal/pareto"
+	"dmexplore/internal/profile"
+	"dmexplore/internal/workload"
+)
+
+func main() {
+	params := workload.DefaultEasyportParams()
+	params.Packets = 4000
+	tr, err := params.Generate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	runner := &core.Runner{Hierarchy: memhier.EmbeddedSoC(), Trace: tr}
+	space := core.EasyportSpace()
+	objectives := []string{profile.ObjAccesses, profile.ObjFootprint}
+
+	// Ground truth: the exhaustive sweep.
+	all, err := runner.Explore(space)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trueFront, truePoints, err := core.ParetoSet(core.Feasible(all), objectives)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref := hvRef(truePoints)
+	trueHV := pareto.Hypervolume2D(truePoints, ref)
+	fmt.Printf("exhaustive: %4d simulations, front %2d, hypervolume 100.0%%\n",
+		space.Size(), len(trueFront))
+
+	// Screen-and-refine at a quarter of the budget.
+	budget := space.Size() / 4
+	screened, err := runner.ScreenAndRefine(space, objectives, budget/4, budget, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reportApprox("screen+refine", screened, objectives, ref, trueHV)
+
+	// Plain random sampling at the same budget, for contrast.
+	sampled, err := runner.Sample(space, budget, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reportApprox("random sample", sampled, objectives, ref, trueHV)
+
+	// Scalarized hill climbing: one balanced trade-off point.
+	hc, err := runner.HillClimb(space, []core.Weighted{
+		{Objective: profile.ObjAccesses, Weight: 1},
+		{Objective: profile.ObjFootprint, Weight: 1},
+	}, budget/2, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hill climb: %4d simulations, best %v (accesses=%d footprint=%d)\n",
+		len(hc.Evaluated), hc.Best.Labels,
+		hc.Best.Metrics.Accesses, hc.Best.Metrics.FootprintBytes)
+}
+
+func reportApprox(name string, results []core.Result, objectives []string, ref [2]float64, trueHV float64) {
+	front, points, err := core.ParetoSet(core.Feasible(results), objectives)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hv := pareto.Hypervolume2D(points, ref)
+	fmt.Printf("%-13s: %4d simulations, front %2d, hypervolume %5.1f%%\n",
+		name, len(results), len(front), 100*hv/trueHV)
+}
+
+// hvRef builds a reference point dominated by every observed point.
+func hvRef(points []pareto.Point) [2]float64 {
+	var ref [2]float64
+	for _, p := range points {
+		for d := 0; d < 2; d++ {
+			if p.Values[d] > ref[d] {
+				ref[d] = p.Values[d]
+			}
+		}
+	}
+	ref[0] *= 1.01
+	ref[1] *= 1.01
+	return ref
+}

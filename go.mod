@@ -1,0 +1,3 @@
+module dmexplore
+
+go 1.22

@@ -1,0 +1,252 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"dmexplore/internal/alloc"
+	"dmexplore/internal/core"
+	"dmexplore/internal/memhier"
+	"dmexplore/internal/pareto"
+	"dmexplore/internal/profile"
+	"dmexplore/internal/report"
+	"dmexplore/internal/trace"
+	"dmexplore/internal/workload"
+)
+
+// Integration tests: end-to-end properties of the whole pipeline
+// (workload -> sweep -> Pareto -> report) at reduced scale.
+
+func smallEasyportTrace(t *testing.T, seed uint64) *trace.Trace {
+	t.Helper()
+	return easyportTraceN(t, seed, 3000)
+}
+
+func easyportTraceN(t *testing.T, seed uint64, packets int) *trace.Trace {
+	t.Helper()
+	p := workload.DefaultEasyportParams()
+	p.Packets = packets
+	p.Seed = seed
+	tr, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestEndToEndSweepInvariants(t *testing.T) {
+	tr := smallEasyportTrace(t, 1)
+	runner := &core.Runner{Hierarchy: memhier.EmbeddedSoC(), Trace: tr}
+	space := core.EasyportSpace()
+	results, err := runner.Explore(space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feasible := core.Feasible(results)
+	if len(feasible) < space.Size()/2 {
+		t.Fatalf("only %d/%d feasible", len(feasible), space.Size())
+	}
+
+	// Every feasible run conserves operations and respects bounds.
+	prof := trace.Analyze(tr)
+	for _, r := range feasible {
+		m := r.Metrics
+		if m.Mallocs != uint64(prof.Allocs) || m.Frees != uint64(prof.Frees) {
+			t.Fatalf("config %d: op counts %d/%d", r.Index, m.Mallocs, m.Frees)
+		}
+		if m.FootprintBytes < m.PeakRequestedBytes {
+			t.Fatalf("config %d: footprint %d < demand %d", r.Index, m.FootprintBytes, m.PeakRequestedBytes)
+		}
+		if m.EnergyNJ <= 0 || m.Cycles == 0 || m.Accesses == 0 {
+			t.Fatalf("config %d: empty metrics", r.Index)
+		}
+		// Energy must be bounded by worst-case pricing of the accesses
+		// (every access at the most expensive layer + leakage slack).
+		worst := m.EnergyNJ / (float64(m.Accesses) * 8.4 * 1.5)
+		if worst > 1 {
+			t.Fatalf("config %d: energy %v implausibly high for %d accesses", r.Index, m.EnergyNJ, m.Accesses)
+		}
+	}
+
+	// Pareto front: mutual non-domination against the whole feasible set.
+	front, points, err := core.ParetoSet(feasible, []string{profile.ObjAccesses, profile.ObjFootprint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(front) == 0 || len(points) < len(front) {
+		t.Fatalf("front %d points %d", len(front), len(points))
+	}
+	for _, f := range front {
+		for _, r := range feasible {
+			if r.Metrics.Accesses < f.Metrics.Accesses && r.Metrics.FootprintBytes < f.Metrics.FootprintBytes {
+				t.Fatalf("front config %d dominated by %d", f.Index, r.Index)
+			}
+		}
+	}
+	if k := pareto.Knee(points); k < 0 {
+		t.Fatal("no knee on a non-empty front")
+	}
+}
+
+func TestEndToEndSeedRobustness(t *testing.T) {
+	// The paper's qualitative conclusions must not depend on the workload
+	// seed: across seeds, dedicated-pool configurations keep winning
+	// accesses, and the sweep keeps a wide accesses range.
+	for _, seed := range []uint64{1, 2, 3} {
+		tr := smallEasyportTrace(t, seed)
+		runner := &core.Runner{Hierarchy: memhier.EmbeddedSoC(), Trace: tr}
+		results, err := runner.Explore(core.EasyportSpace())
+		if err != nil {
+			t.Fatal(err)
+		}
+		feasible := core.Feasible(results)
+		accRange, err := core.Range(feasible, profile.ObjAccesses)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if accRange.Factor < 5 {
+			t.Fatalf("seed %d: accesses factor %.1f collapsed", seed, accRange.Factor)
+		}
+		// The access-minimal configuration must use dedicated pools.
+		best := results[accRange.BestIndex]
+		if best.Labels[0] == "none" {
+			t.Fatalf("seed %d: access-optimal config has no pools: %v", seed, best.Labels)
+		}
+		front, _, err := core.ParetoSet(feasible, []string{profile.ObjAccesses, profile.ObjFootprint})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(front) < 5 || len(front) > 60 {
+			t.Fatalf("seed %d: front size %d implausible", seed, len(front))
+		}
+	}
+}
+
+func TestEndToEndCSVRoundTripPreservesPareto(t *testing.T) {
+	tr := smallEasyportTrace(t, 1)
+	runner := &core.Runner{Hierarchy: memhier.EmbeddedSoC(), Trace: tr}
+	space := core.EasyportSpace()
+	results, err := runner.Sample(space, 60, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := report.WriteResultsCSV(&buf, space.AxisLabels(), results); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := report.ReadResultsCSV(bytes.NewReader(buf.Bytes()), len(space.Axes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := []string{profile.ObjAccesses, profile.ObjFootprint}
+	f1, _, err := core.ParetoSet(core.Feasible(results), objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, _, err := core.ParetoSet(core.Feasible(parsed), objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f1) != len(f2) {
+		t.Fatalf("front size changed through CSV: %d vs %d", len(f1), len(f2))
+	}
+	for i := range f1 {
+		if f1[i].Index != f2[i].Index {
+			t.Fatalf("front member %d changed: %d vs %d", i, f1[i].Index, f2[i].Index)
+		}
+	}
+}
+
+func TestEndToEndBaselinesAreDominatedOrMatched(t *testing.T) {
+	// The paper's motivation: no OS-style baseline beats the custom
+	// front on both objectives at once. This needs the full-size
+	// workload: at toy scales the dedicated pools' slab overhead is not
+	// yet amortized.
+	if testing.Short() {
+		t.Skip("full-scale sweep")
+	}
+	tr := easyportTraceN(t, 1, 30000)
+	runner := &core.Runner{Hierarchy: memhier.EmbeddedSoC(), Trace: tr}
+	results, err := runner.Explore(core.EasyportSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	front, _, err := core.ParetoSet(core.Feasible(results),
+		[]string{profile.ObjAccesses, profile.ObjFootprint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	energyMin, err := core.Range(front, profile.ObjEnergy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, preset := range []alloc.Config{
+		alloc.KingsleyConfig(memhier.LayerDRAM),
+		alloc.LeaConfig(memhier.LayerDRAM),
+		alloc.SimpleFirstFitConfig(memhier.LayerDRAM),
+	} {
+		m, err := profile.Run(tr, preset, memhier.EmbeddedSoC(), profile.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A baseline may squeeze into a sliver of objective space the
+		// curated axes don't cover exactly, so the claim is tested with a
+		// 10% footprint tolerance: some custom front point is at least as
+		// fast AND within 10% of the baseline's footprint.
+		nearDominated := false
+		for _, f := range front {
+			if f.Metrics.Accesses <= m.Accesses &&
+				float64(f.Metrics.FootprintBytes) <= 1.10*float64(m.FootprintBytes) {
+				nearDominated = true
+				break
+			}
+		}
+		if !nearDominated {
+			t.Fatalf("%s beats the entire custom front", preset.Label)
+		}
+		// And the custom space always wins big on energy — the baselines
+		// cannot use the scratchpad (A3's >=2.2x in EXPERIMENTS.md).
+		if energyMin.Min > 0.6*m.EnergyNJ {
+			t.Fatalf("%s energy %.0f not clearly beaten by front minimum %.0f",
+				preset.Label, m.EnergyNJ, energyMin.Min)
+		}
+	}
+}
+
+func TestEndToEndVTCPipeline(t *testing.T) {
+	p := workload.DefaultVTCParams()
+	p.Tiles = 16
+	tr, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := &core.Runner{Hierarchy: memhier.EmbeddedSoC(), Trace: tr}
+	results, err := runner.Explore(core.VTCSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	feasible := core.Feasible(results)
+	front, _, err := core.ParetoSet(feasible, []string{profile.ObjAccesses, profile.ObjFootprint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	energy, err := core.ParetoImprovement(front, profile.ObjEnergy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycles, err := core.ParetoImprovement(front, profile.ObjCycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The VTC asymmetry must hold at any scale: energy moves much more
+	// than execution time.
+	if energy < 1.5 {
+		t.Fatalf("VTC energy spread %.2f collapsed", energy)
+	}
+	if cycles > 1.5 {
+		t.Fatalf("VTC time spread %.2f too large (should be CPU-bound)", cycles)
+	}
+	if energy <= cycles {
+		t.Fatalf("VTC asymmetry inverted: energy %.2f <= cycles %.2f", energy, cycles)
+	}
+}

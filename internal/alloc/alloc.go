@@ -1,0 +1,93 @@
+// Package alloc implements the parameterized dynamic-memory allocator
+// framework — the Go counterpart of the paper's C++ template/mixin library
+// of ">50 modules". Allocators are assembled from orthogonal policy
+// modules (free-list order and linkage, fit policy, size-class map,
+// splitting, coalescing, header layout, pool growth) into any number of
+// custom configurations, each of which can map its pools onto arbitrary
+// layers of the simulated memory hierarchy.
+//
+// Allocators do not manage real memory: they run on the simheap substrate
+// and charge every word of metadata they would touch on the target, so
+// profiled access counts, footprint, energy and cycle figures reflect the
+// behaviour of the modelled implementation.
+package alloc
+
+import (
+	"errors"
+	"fmt"
+
+	"dmexplore/internal/memhier"
+)
+
+// Ptr identifies a live allocation: the layer holding it and the payload
+// address within that layer's address space. The zero Ptr is never a
+// valid allocation result.
+type Ptr struct {
+	Layer memhier.LayerID
+	Addr  uint64
+}
+
+// Stats is a point-in-time summary of an allocator's internal accounting.
+// Footprint lives in the simheap counters; these figures add the
+// allocator's own view: live allocations, requested bytes (for
+// fragmentation analysis) and operation counts.
+type Stats struct {
+	Mallocs       uint64 // successful Malloc calls
+	Frees         uint64 // successful Free calls
+	Failures      uint64 // Malloc calls that returned ErrOutOfMemory
+	LiveBlocks    int64  // currently allocated blocks
+	RequestedLive int64  // sum of requested sizes of live blocks
+	AllocatedLive int64  // sum of actually reserved block sizes (>= requested)
+}
+
+// InternalFragmentation returns the fraction of live allocated bytes lost
+// to rounding (0 when nothing is live).
+func (s Stats) InternalFragmentation() float64 {
+	if s.AllocatedLive == 0 {
+		return 0
+	}
+	return 1 - float64(s.RequestedLive)/float64(s.AllocatedLive)
+}
+
+// Allocator is a dynamic-memory allocator configuration under simulation.
+type Allocator interface {
+	// Name returns a short human-readable identifier of the configuration.
+	Name() string
+	// Malloc allocates size bytes and returns the payload pointer.
+	// It returns ErrOutOfMemory when no pool can satisfy the request.
+	Malloc(size int64) (Ptr, error)
+	// Free releases a pointer previously returned by Malloc. Freeing an
+	// unknown or already-freed pointer returns ErrBadFree.
+	Free(p Ptr) error
+	// Where reports whether p is a live allocation and, if so, echoes it
+	// (profiling uses it to charge application data accesses).
+	Where(p Ptr) (Ptr, bool)
+	// SizeOf returns the requested size of the live allocation p.
+	SizeOf(p Ptr) (int64, bool)
+	// Stats returns the allocator's accounting snapshot.
+	Stats() Stats
+}
+
+// Allocation errors.
+var (
+	// ErrOutOfMemory reports that no pool could satisfy a request, e.g.
+	// because a bounded layer is exhausted.
+	ErrOutOfMemory = errors.New("alloc: out of memory")
+	// ErrBadFree reports a free of an unknown or already-freed pointer.
+	ErrBadFree = errors.New("alloc: bad free")
+	// ErrBadSize reports a non-positive allocation size.
+	ErrBadSize = errors.New("alloc: bad size")
+)
+
+// align rounds n up to the next multiple of a (a must be a power of two).
+func align(n int64, a int64) int64 {
+	return (n + a - 1) &^ (a - 1)
+}
+
+// checkSize validates a requested allocation size.
+func checkSize(size int64) error {
+	if size <= 0 {
+		return fmt.Errorf("%w: %d", ErrBadSize, size)
+	}
+	return nil
+}

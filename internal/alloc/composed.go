@@ -1,0 +1,175 @@
+package alloc
+
+import (
+	"fmt"
+
+	"dmexplore/internal/simheap"
+)
+
+// FallbackPool is the contract a pool must satisfy to serve as the
+// composed allocator's general fallback. Both GeneralPool (segregated
+// fit/storage) and BuddyPool implement it.
+type FallbackPool interface {
+	// Malloc allocates size payload bytes, returning the payload pointer
+	// and the block bytes actually consumed.
+	Malloc(size int64) (Ptr, int64, error)
+	// Free releases the allocation at payload address addr, returning the
+	// block bytes released.
+	Free(addr uint64) (int64, error)
+	// Owns reports whether addr is a live allocation of this pool.
+	Owns(addr uint64) bool
+	// LiveBlocks returns the number of live allocations.
+	LiveBlocks() int
+	// ArenaBytes returns the total reserved arena bytes.
+	ArenaBytes() int64
+}
+
+// Composed is a complete custom allocator: an ordered set of dedicated
+// fixed-size pools backed by a general fallback pool. Requests are routed
+// to the first matching fixed pool; when a fixed pool cannot grow (its
+// layer or budget is exhausted) the request falls back to the general
+// pool, which models scratchpad-overflow behaviour on the target.
+type Composed struct {
+	name    string
+	ctx     *simheap.Context
+	fixed   []*FixedPool
+	general FallbackPool
+
+	// owner tracks which pool each live payload address belongs to so Free
+	// can dispatch. On the target this dispatch is an address-range check
+	// per pool, charged as compute cycles.
+	owner     map[Ptr]*poolRef
+	requested map[Ptr]int64
+
+	stats Stats
+}
+
+// poolRef identifies the owning pool of a live allocation.
+type poolRef struct {
+	fixed   *FixedPool   // nil when general
+	general FallbackPool // nil when fixed
+}
+
+// NewComposed assembles an allocator from already-constructed pools.
+// general may not be nil: every configuration needs a fallback pool.
+func NewComposed(name string, ctx *simheap.Context, fixed []*FixedPool, general FallbackPool) (*Composed, error) {
+	if general == nil {
+		return nil, fmt.Errorf("alloc: composed allocator needs a general pool")
+	}
+	return &Composed{
+		name:      name,
+		ctx:       ctx,
+		fixed:     fixed,
+		general:   general,
+		owner:     make(map[Ptr]*poolRef),
+		requested: make(map[Ptr]int64),
+	}, nil
+}
+
+// Name implements Allocator.
+func (c *Composed) Name() string { return c.name }
+
+// FixedPools returns the dedicated pools in routing order.
+func (c *Composed) FixedPools() []*FixedPool { return c.fixed }
+
+// Fallback returns the general fallback pool.
+func (c *Composed) Fallback() FallbackPool { return c.general }
+
+// Malloc implements Allocator.
+func (c *Composed) Malloc(size int64) (Ptr, error) {
+	if err := checkSize(size); err != nil {
+		return Ptr{}, err
+	}
+	for _, fp := range c.fixed {
+		c.ctx.Compute(1) // routing check: size range compare
+		if !fp.Matches(size) {
+			continue
+		}
+		ptr, allocated, err := fp.Malloc(size)
+		if err == nil {
+			c.commit(ptr, &poolRef{fixed: fp}, size, allocated)
+			return ptr, nil
+		}
+		// Dedicated pool exhausted: fall back to the general pool.
+		break
+	}
+	ptr, allocated, err := c.general.Malloc(size)
+	if err != nil {
+		c.stats.Failures++
+		return Ptr{}, err
+	}
+	c.commit(ptr, &poolRef{general: c.general}, size, allocated)
+	return ptr, nil
+}
+
+func (c *Composed) commit(ptr Ptr, ref *poolRef, requested, allocated int64) {
+	c.owner[ptr] = ref
+	c.requested[ptr] = requested
+	c.stats.Mallocs++
+	c.stats.LiveBlocks++
+	c.stats.RequestedLive += requested
+	c.stats.AllocatedLive += allocated
+}
+
+// Free implements Allocator.
+func (c *Composed) Free(p Ptr) error {
+	ref, ok := c.owner[p]
+	if !ok {
+		return fmt.Errorf("%w: %+v", ErrBadFree, p)
+	}
+	c.ctx.Compute(uint64(len(c.fixed) + 1)) // address-range dispatch
+	var (
+		released int64
+		err      error
+	)
+	if ref.fixed != nil {
+		released, err = ref.fixed.Free(p.Addr)
+	} else {
+		released, err = ref.general.Free(p.Addr)
+	}
+	if err != nil {
+		return err
+	}
+	delete(c.owner, p)
+	c.stats.Frees++
+	c.stats.LiveBlocks--
+	c.stats.RequestedLive -= c.requested[p]
+	c.stats.AllocatedLive -= released
+	delete(c.requested, p)
+	return nil
+}
+
+// Where implements Allocator.
+func (c *Composed) Where(p Ptr) (Ptr, bool) {
+	_, ok := c.owner[p]
+	return p, ok
+}
+
+// SizeOf implements Allocator.
+func (c *Composed) SizeOf(p Ptr) (int64, bool) {
+	size, ok := c.requested[p]
+	return size, ok
+}
+
+// Stats implements Allocator.
+func (c *Composed) Stats() Stats { return c.stats }
+
+// CheckInvariants verifies the allocator's simulator-side consistency.
+func (c *Composed) CheckInvariants() error {
+	live := 0
+	for _, fp := range c.fixed {
+		live += fp.LiveBlocks()
+	}
+	live += c.general.LiveBlocks()
+	if int64(live) != c.stats.LiveBlocks {
+		return fmt.Errorf("alloc: %d live in pools, %d in stats", live, c.stats.LiveBlocks)
+	}
+	switch g := c.general.(type) {
+	case *GeneralPool:
+		return g.checkInvariants()
+	case *BuddyPool:
+		return g.checkInvariants()
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,362 @@
+package alloc
+
+import (
+	"testing"
+
+	"dmexplore/internal/memhier"
+	"dmexplore/internal/simheap"
+)
+
+// testCtx returns a context over a single unbounded test layer.
+func testCtx(t *testing.T) *simheap.Context {
+	t.Helper()
+	h, err := memhier.New(memhier.Layer{
+		Name: "mem", ReadEnergy: 1, WriteEnergy: 1, ReadCycles: 1, WriteCycles: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return simheap.NewContext(h)
+}
+
+// twoLayerCtx returns a context with a tiny bounded "sp" layer (index 0)
+// and an unbounded "dram" layer (index 1).
+func twoLayerCtx(t *testing.T, spBytes int64) *simheap.Context {
+	t.Helper()
+	h, err := memhier.New(
+		memhier.Layer{Name: "sp", Capacity: spBytes, ReadEnergy: 0.3, WriteEnergy: 0.3, ReadCycles: 1, WriteCycles: 1},
+		memhier.Layer{Name: "dram", ReadEnergy: 8, WriteEnergy: 8, ReadCycles: 16, WriteCycles: 16},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return simheap.NewContext(h)
+}
+
+func freeBlock(addr uint64, size int64) *Block {
+	return &Block{addr: addr, size: size, free: true}
+}
+
+func newTestList(ctx *simheap.Context, order ListOrder, links ListLinks) *FreeList {
+	return NewFreeList(ctx, 0, 0, order, links)
+}
+
+func TestFreeListLIFO(t *testing.T) {
+	ctx := testCtx(t)
+	l := newTestList(ctx, LIFO, SingleLink)
+	a, b, c := freeBlock(0, 32), freeBlock(32, 32), freeBlock(64, 32)
+	l.Push(a)
+	l.Push(b)
+	l.Push(c)
+	if l.Len() != 3 {
+		t.Fatalf("len %d", l.Len())
+	}
+	// LIFO: pops in reverse push order.
+	if l.PopHead() != c || l.PopHead() != b || l.PopHead() != a {
+		t.Fatal("LIFO order wrong")
+	}
+	if !l.Empty() || l.PopHead() != nil {
+		t.Fatal("not empty after pops")
+	}
+}
+
+func TestFreeListFIFO(t *testing.T) {
+	ctx := testCtx(t)
+	l := newTestList(ctx, FIFO, SingleLink)
+	a, b, c := freeBlock(0, 32), freeBlock(32, 32), freeBlock(64, 32)
+	l.Push(a)
+	l.Push(b)
+	l.Push(c)
+	if l.PopHead() != a || l.PopHead() != b || l.PopHead() != c {
+		t.Fatal("FIFO order wrong")
+	}
+}
+
+func TestFreeListAddrOrder(t *testing.T) {
+	ctx := testCtx(t)
+	l := newTestList(ctx, AddrOrder, SingleLink)
+	b1, b2, b3 := freeBlock(64, 32), freeBlock(0, 32), freeBlock(32, 32)
+	l.Push(b1)
+	l.Push(b2)
+	l.Push(b3)
+	// Must pop in ascending address order regardless of push order.
+	if got := l.PopHead(); got != b2 {
+		t.Fatalf("first pop %v", got)
+	}
+	if got := l.PopHead(); got != b3 {
+		t.Fatalf("second pop %v", got)
+	}
+	if got := l.PopHead(); got != b1 {
+		t.Fatalf("third pop %v", got)
+	}
+}
+
+func TestFreeListPushPanics(t *testing.T) {
+	ctx := testCtx(t)
+	l := newTestList(ctx, LIFO, SingleLink)
+	b := freeBlock(0, 32)
+	l.Push(b)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("double push did not panic")
+			}
+		}()
+		l.Push(b)
+	}()
+	allocated := &Block{addr: 64, size: 32, free: false}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("push of allocated block did not panic")
+			}
+		}()
+		l.Push(allocated)
+	}()
+}
+
+func TestFreeListRemove(t *testing.T) {
+	for _, links := range []ListLinks{SingleLink, DoubleLink} {
+		ctx := testCtx(t)
+		l := newTestList(ctx, LIFO, links)
+		a, b, c := freeBlock(0, 32), freeBlock(32, 32), freeBlock(64, 32)
+		l.Push(a)
+		l.Push(b)
+		l.Push(c)
+		l.Remove(b) // middle
+		if l.Len() != 2 {
+			t.Fatalf("%v: len %d", links, l.Len())
+		}
+		if l.PopHead() != c || l.PopHead() != a {
+			t.Fatalf("%v: wrong survivors", links)
+		}
+	}
+}
+
+func TestFreeListRemoveHeadAndTail(t *testing.T) {
+	ctx := testCtx(t)
+	l := newTestList(ctx, FIFO, DoubleLink)
+	a, b, c := freeBlock(0, 32), freeBlock(32, 32), freeBlock(64, 32)
+	l.Push(a)
+	l.Push(b)
+	l.Push(c)
+	l.Remove(a) // head
+	l.Remove(c) // tail
+	if l.Len() != 1 || l.Head() != b {
+		t.Fatal("head/tail removal wrong")
+	}
+	l.Remove(b)
+	if !l.Empty() {
+		t.Fatal("not empty")
+	}
+	// Push after emptying must work (tail pointer reset).
+	l.Push(freeBlock(96, 32))
+	if l.Len() != 1 {
+		t.Fatal("push after empty failed")
+	}
+}
+
+func TestFreeListRemoveWrongListPanics(t *testing.T) {
+	ctx := testCtx(t)
+	l1 := newTestList(ctx, LIFO, SingleLink)
+	l2 := NewFreeList(ctx, 0, 64, LIFO, SingleLink)
+	b := freeBlock(0, 32)
+	l1.Push(b)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-list remove did not panic")
+		}
+	}()
+	l2.Remove(b)
+}
+
+func TestTakeFirstFit(t *testing.T) {
+	ctx := testCtx(t)
+	l := newTestList(ctx, FIFO, SingleLink)
+	l.Push(freeBlock(0, 16))
+	l.Push(freeBlock(16, 64))
+	l.Push(freeBlock(80, 32))
+	got := l.Take(FirstFit, 32)
+	if got == nil || got.size != 64 {
+		t.Fatalf("first fit took %v", got)
+	}
+	if l.Len() != 2 {
+		t.Fatalf("len %d", l.Len())
+	}
+}
+
+func TestTakeBestFit(t *testing.T) {
+	ctx := testCtx(t)
+	l := newTestList(ctx, FIFO, SingleLink)
+	l.Push(freeBlock(0, 128))
+	l.Push(freeBlock(128, 40))
+	l.Push(freeBlock(168, 64))
+	got := l.Take(BestFit, 32)
+	if got == nil || got.size != 40 {
+		t.Fatalf("best fit took %v", got)
+	}
+}
+
+func TestTakeWorstFit(t *testing.T) {
+	ctx := testCtx(t)
+	l := newTestList(ctx, FIFO, SingleLink)
+	l.Push(freeBlock(0, 128))
+	l.Push(freeBlock(128, 40))
+	got := l.Take(WorstFit, 32)
+	if got == nil || got.size != 128 {
+		t.Fatalf("worst fit took %v", got)
+	}
+}
+
+func TestTakeExactFit(t *testing.T) {
+	ctx := testCtx(t)
+	l := newTestList(ctx, LIFO, SingleLink)
+	l.Push(freeBlock(0, 64))
+	if got := l.Take(ExactFit, 32); got != nil {
+		t.Fatalf("exact fit matched %v for 32", got)
+	}
+	if got := l.Take(ExactFit, 64); got == nil || got.size != 64 {
+		t.Fatalf("exact fit missed: %v", got)
+	}
+}
+
+func TestTakeNoFit(t *testing.T) {
+	ctx := testCtx(t)
+	l := newTestList(ctx, LIFO, SingleLink)
+	l.Push(freeBlock(0, 16))
+	if got := l.Take(FirstFit, 32); got != nil {
+		t.Fatalf("took too-small block %v", got)
+	}
+	if l.Len() != 1 {
+		t.Fatal("failed take modified list")
+	}
+}
+
+func TestTakeNextFitRoves(t *testing.T) {
+	ctx := testCtx(t)
+	l := newTestList(ctx, FIFO, SingleLink)
+	a, b, c := freeBlock(0, 32), freeBlock(32, 32), freeBlock(64, 32)
+	l.Push(a)
+	l.Push(b)
+	l.Push(c)
+	first := l.Take(NextFit, 32)
+	if first != a {
+		t.Fatalf("first next-fit take %v", first)
+	}
+	// Rover advanced past a: the next take starts at b.
+	second := l.Take(NextFit, 32)
+	if second != b {
+		t.Fatalf("second next-fit take %v (rover did not advance)", second)
+	}
+	third := l.Take(NextFit, 32)
+	if third != c {
+		t.Fatalf("third next-fit take %v", third)
+	}
+}
+
+func TestTakeNextFitWraps(t *testing.T) {
+	ctx := testCtx(t)
+	l := newTestList(ctx, FIFO, SingleLink)
+	a := freeBlock(0, 64)
+	b := freeBlock(64, 16)
+	l.Push(a)
+	l.Push(b)
+	if got := l.Take(NextFit, 48); got != a {
+		t.Fatalf("take %v", got)
+	}
+	// Rover now points at b (16 bytes). A request for 48 must wrap and
+	// fail (nothing fits), not loop forever.
+	if got := l.Take(NextFit, 48); got != nil {
+		t.Fatalf("wrapped take found %v", got)
+	}
+	// A request for 16 starting at rover should find b.
+	if got := l.Take(NextFit, 16); got != b {
+		t.Fatalf("rover take %v", got)
+	}
+}
+
+// Access accounting checks: the discipline determines the charge.
+func TestFreeListChargesLIFOPush(t *testing.T) {
+	ctx := testCtx(t)
+	l := newTestList(ctx, LIFO, SingleLink)
+	before := ctx.Counters(0)
+	l.Push(freeBlock(0, 32))
+	after := ctx.Counters(0)
+	// LIFO single push: 1 meta read, 1 block write + 1 meta write.
+	if r := after.Reads - before.Reads; r != 1 {
+		t.Errorf("push charged %d reads, want 1", r)
+	}
+	if w := after.Writes - before.Writes; w != 2 {
+		t.Errorf("push charged %d writes, want 2", w)
+	}
+}
+
+func TestFreeListChargesAddrOrderScales(t *testing.T) {
+	ctx := testCtx(t)
+	l := newTestList(ctx, AddrOrder, SingleLink)
+	for i := 0; i < 50; i++ {
+		l.Push(freeBlock(uint64(i*32), 32))
+	}
+	before := ctx.Counters(0).Reads
+	// Inserting at the end must walk all 50 nodes.
+	l.Push(freeBlock(50*32, 32))
+	walked := ctx.Counters(0).Reads - before
+	if walked < 50 {
+		t.Errorf("addr-order insert read %d words, want >= 50", walked)
+	}
+
+	ctx2 := testCtx(t)
+	l2 := newTestList(ctx2, LIFO, SingleLink)
+	for i := 0; i < 50; i++ {
+		l2.Push(freeBlock(uint64(i*32), 32))
+	}
+	before2 := ctx2.Counters(0).Reads
+	l2.Push(freeBlock(50*32, 32))
+	if lifoReads := ctx2.Counters(0).Reads - before2; lifoReads >= walked {
+		t.Errorf("LIFO push (%d reads) not cheaper than addr-order (%d)", lifoReads, walked)
+	}
+}
+
+func TestFreeListChargesSingleVsDoubleRemove(t *testing.T) {
+	charge := func(links ListLinks) uint64 {
+		ctx := testCtx(t)
+		l := newTestList(ctx, FIFO, links)
+		var target *Block
+		for i := 0; i < 40; i++ {
+			b := freeBlock(uint64(i*32), 32)
+			l.Push(b)
+			if i == 39 {
+				target = b
+			}
+		}
+		before := ctx.Counters(0).Accesses()
+		l.Remove(target)
+		return ctx.Counters(0).Accesses() - before
+	}
+	single := charge(SingleLink)
+	double := charge(DoubleLink)
+	if double >= single {
+		t.Errorf("double-link remove (%d) not cheaper than single-link (%d)", double, single)
+	}
+	if single < 40 {
+		t.Errorf("single-link remove of tail charged %d accesses, want >= 40 (scan)", single)
+	}
+}
+
+func TestTakeChargesScanLength(t *testing.T) {
+	ctx := testCtx(t)
+	l := newTestList(ctx, FIFO, SingleLink)
+	for i := 0; i < 30; i++ {
+		l.Push(freeBlock(uint64(i*32), 16)) // all too small
+	}
+	l.Push(freeBlock(1000, 64))
+	before := ctx.Counters(0).Reads
+	if got := l.Take(FirstFit, 64); got == nil {
+		t.Fatal("take failed")
+	}
+	reads := ctx.Counters(0).Reads - before
+	// 31 visited blocks × 2 reads each, plus meta.
+	if reads < 60 {
+		t.Errorf("first-fit scan charged %d reads, want >= 60", reads)
+	}
+}

@@ -1,0 +1,14 @@
+package alloc
+
+import (
+	"testing"
+
+	"dmexplore/internal/memhier"
+	"dmexplore/internal/simheap"
+)
+
+// newCtx returns a fresh simulation context over h.
+func newCtx(t *testing.T, h *memhier.Hierarchy) *simheap.Context {
+	t.Helper()
+	return simheap.NewContext(h)
+}

@@ -1,0 +1,190 @@
+package alloc
+
+import "fmt"
+
+// The policy enumerations below are the orthogonal "modules" an allocator
+// configuration is assembled from. Each corresponds to one parameter axis
+// of the exploration space (the paper's "list of arrays with the parameter
+// values to be explored").
+
+// FitPolicy selects how a general pool searches its free structure.
+type FitPolicy int
+
+// Fit policies.
+const (
+	FirstFit FitPolicy = iota // first block large enough
+	NextFit                   // first fit resuming at a roving pointer
+	BestFit                   // smallest block large enough (full scan)
+	WorstFit                  // largest block (full scan)
+	ExactFit                  // only a block of exactly the right size
+)
+
+var fitNames = map[FitPolicy]string{
+	FirstFit: "first", NextFit: "next", BestFit: "best",
+	WorstFit: "worst", ExactFit: "exact",
+}
+
+func (f FitPolicy) String() string { return enumName(fitNames, f, "fit") }
+
+// Valid reports whether f is a known policy.
+func (f FitPolicy) Valid() bool { _, ok := fitNames[f]; return ok }
+
+// ParseFitPolicy parses the textual form produced by String.
+func ParseFitPolicy(s string) (FitPolicy, error) {
+	for k, v := range fitNames {
+		if v == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("alloc: unknown fit policy %q", s)
+}
+
+// ListOrder selects the discipline of a free list.
+type ListOrder int
+
+// Free-list orders.
+const (
+	LIFO      ListOrder = iota // push/pop at head: cheapest, best locality
+	FIFO                       // push at tail, pop at head
+	AddrOrder                  // keep sorted by address: O(n) insert, best coalescing
+)
+
+var orderNames = map[ListOrder]string{LIFO: "lifo", FIFO: "fifo", AddrOrder: "addr"}
+
+func (o ListOrder) String() string { return enumName(orderNames, o, "order") }
+
+// Valid reports whether o is a known order.
+func (o ListOrder) Valid() bool { _, ok := orderNames[o]; return ok }
+
+// ParseListOrder parses the textual form produced by String.
+func ParseListOrder(s string) (ListOrder, error) {
+	for k, v := range orderNames {
+		if v == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("alloc: unknown list order %q", s)
+}
+
+// ListLinks selects single or double linkage of free-list nodes. Double
+// linkage costs one extra word write per insert but makes arbitrary
+// removal (needed by coalescing and best-fit) O(1) instead of O(n).
+type ListLinks int
+
+// Linkage options.
+const (
+	SingleLink ListLinks = iota
+	DoubleLink
+)
+
+var linkNames = map[ListLinks]string{SingleLink: "single", DoubleLink: "double"}
+
+func (l ListLinks) String() string { return enumName(linkNames, l, "links") }
+
+// Valid reports whether l is a known linkage.
+func (l ListLinks) Valid() bool { _, ok := linkNames[l]; return ok }
+
+// ParseListLinks parses the textual form produced by String.
+func ParseListLinks(s string) (ListLinks, error) {
+	for k, v := range linkNames {
+		if v == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("alloc: unknown linkage %q", s)
+}
+
+// CoalesceMode selects when adjacent free blocks are merged.
+type CoalesceMode int
+
+// Coalescing modes.
+const (
+	CoalesceNever     CoalesceMode = iota
+	CoalesceImmediate              // merge neighbours on every free
+	CoalesceDeferred               // sweep the arena every K frees
+)
+
+var coalesceNames = map[CoalesceMode]string{
+	CoalesceNever: "never", CoalesceImmediate: "immediate", CoalesceDeferred: "deferred",
+}
+
+func (c CoalesceMode) String() string { return enumName(coalesceNames, c, "coalesce") }
+
+// Valid reports whether c is a known mode.
+func (c CoalesceMode) Valid() bool { _, ok := coalesceNames[c]; return ok }
+
+// SplitMode selects when an over-sized free block is split on allocation.
+type SplitMode int
+
+// Splitting modes.
+const (
+	SplitNever     SplitMode = iota
+	SplitAlways              // split whenever a viable remainder exists
+	SplitThreshold           // split only when the remainder >= threshold
+)
+
+var splitNames = map[SplitMode]string{
+	SplitNever: "never", SplitAlways: "always", SplitThreshold: "threshold",
+}
+
+func (s SplitMode) String() string { return enumName(splitNames, s, "split") }
+
+// Valid reports whether s is a known mode.
+func (s SplitMode) Valid() bool { _, ok := splitNames[s]; return ok }
+
+// HeaderMode selects the per-block metadata layout of a general pool.
+type HeaderMode int
+
+// Header layouts.
+const (
+	// HeaderMinimal is a single size+status word before the payload.
+	// Backward coalescing is impossible (the previous block's header
+	// cannot be located), so only forward merges happen.
+	HeaderMinimal HeaderMode = iota
+	// HeaderBoundaryTag adds a footer word (Knuth boundary tag), enabling
+	// O(1) backward coalescing at one extra word per block.
+	HeaderBoundaryTag
+)
+
+var headerNames = map[HeaderMode]string{
+	HeaderMinimal: "minimal", HeaderBoundaryTag: "btag",
+}
+
+func (h HeaderMode) String() string { return enumName(headerNames, h, "header") }
+
+// Valid reports whether h is a known layout.
+func (h HeaderMode) Valid() bool { _, ok := headerNames[h]; return ok }
+
+// Words returns the per-block metadata overhead in words.
+func (h HeaderMode) Words() int64 {
+	if h == HeaderBoundaryTag {
+		return 2
+	}
+	return 1
+}
+
+// GrowthMode selects how a pool extends itself when exhausted.
+type GrowthMode int
+
+// Growth modes.
+const (
+	// GrowFixedChunk reserves a constant-size arena each time.
+	GrowFixedChunk GrowthMode = iota
+	// GrowDouble doubles the arena size on each extension (first arena =
+	// the configured chunk size), trading footprint for fewer extensions.
+	GrowDouble
+)
+
+var growthNames = map[GrowthMode]string{GrowFixedChunk: "chunk", GrowDouble: "double"}
+
+func (g GrowthMode) String() string { return enumName(growthNames, g, "growth") }
+
+// Valid reports whether g is a known mode.
+func (g GrowthMode) Valid() bool { _, ok := growthNames[g]; return ok }
+
+func enumName[K ~int](names map[K]string, v K, kind string) string {
+	if s, ok := names[v]; ok {
+		return s
+	}
+	return fmt.Sprintf("%s(invalid:%d)", kind, int(v))
+}

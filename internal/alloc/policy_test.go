@@ -1,0 +1,120 @@
+package alloc
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestPolicyStringRoundTrip(t *testing.T) {
+	for _, f := range []FitPolicy{FirstFit, NextFit, BestFit, WorstFit, ExactFit} {
+		got, err := ParseFitPolicy(f.String())
+		if err != nil || got != f {
+			t.Errorf("fit %v round trip: %v %v", f, got, err)
+		}
+	}
+	for _, o := range []ListOrder{LIFO, FIFO, AddrOrder} {
+		got, err := ParseListOrder(o.String())
+		if err != nil || got != o {
+			t.Errorf("order %v round trip: %v %v", o, got, err)
+		}
+	}
+	for _, l := range []ListLinks{SingleLink, DoubleLink} {
+		got, err := ParseListLinks(l.String())
+		if err != nil || got != l {
+			t.Errorf("links %v round trip: %v %v", l, got, err)
+		}
+	}
+}
+
+func TestPolicyParseErrors(t *testing.T) {
+	if _, err := ParseFitPolicy("bogus"); err == nil {
+		t.Error("bogus fit accepted")
+	}
+	if _, err := ParseListOrder("bogus"); err == nil {
+		t.Error("bogus order accepted")
+	}
+	if _, err := ParseListLinks("bogus"); err == nil {
+		t.Error("bogus links accepted")
+	}
+}
+
+func TestPolicyValid(t *testing.T) {
+	if !BestFit.Valid() || FitPolicy(99).Valid() {
+		t.Error("fit Valid wrong")
+	}
+	if !AddrOrder.Valid() || ListOrder(99).Valid() {
+		t.Error("order Valid wrong")
+	}
+	if !DoubleLink.Valid() || ListLinks(99).Valid() {
+		t.Error("links Valid wrong")
+	}
+	if !CoalesceDeferred.Valid() || CoalesceMode(99).Valid() {
+		t.Error("coalesce Valid wrong")
+	}
+	if !SplitThreshold.Valid() || SplitMode(99).Valid() {
+		t.Error("split Valid wrong")
+	}
+	if !HeaderBoundaryTag.Valid() || HeaderMode(99).Valid() {
+		t.Error("header Valid wrong")
+	}
+	if !GrowDouble.Valid() || GrowthMode(99).Valid() {
+		t.Error("growth Valid wrong")
+	}
+}
+
+func TestHeaderWords(t *testing.T) {
+	if HeaderMinimal.Words() != 1 || HeaderBoundaryTag.Words() != 2 {
+		t.Fatal("header words wrong")
+	}
+}
+
+func TestInvalidEnumString(t *testing.T) {
+	if s := FitPolicy(42).String(); s != "fit(invalid:42)" {
+		t.Fatalf("invalid enum string %q", s)
+	}
+}
+
+func TestPolicyJSONRoundTrip(t *testing.T) {
+	type all struct {
+		F FitPolicy    `json:"f"`
+		O ListOrder    `json:"o"`
+		L ListLinks    `json:"l"`
+		C CoalesceMode `json:"c"`
+		S SplitMode    `json:"s"`
+		H HeaderMode   `json:"h"`
+		G GrowthMode   `json:"g"`
+	}
+	in := all{BestFit, AddrOrder, DoubleLink, CoalesceDeferred, SplitThreshold, HeaderBoundaryTag, GrowDouble}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"f":"best","o":"addr","l":"double","c":"deferred","s":"threshold","h":"btag","g":"double"}`
+	if string(data) != want {
+		t.Fatalf("json %s want %s", data, want)
+	}
+	var out all
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip %+v != %+v", out, in)
+	}
+}
+
+func TestPolicyJSONBadValue(t *testing.T) {
+	var f FitPolicy
+	if err := json.Unmarshal([]byte(`"nope"`), &f); err == nil {
+		t.Fatal("bad fit value accepted")
+	}
+	var c CoalesceMode
+	if err := json.Unmarshal([]byte(`"nope"`), &c); err == nil {
+		t.Fatal("bad coalesce value accepted")
+	}
+}
+
+func TestPolicyMarshalInvalid(t *testing.T) {
+	if _, err := FitPolicy(42).MarshalText(); err == nil {
+		t.Fatal("invalid enum marshalled")
+	}
+}

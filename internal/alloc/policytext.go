@@ -1,0 +1,96 @@
+package alloc
+
+import "fmt"
+
+// Text marshalling for the policy enums so configurations round-trip
+// through JSON parameter files with readable values ("best", "lifo", …)
+// instead of bare integers.
+
+// MarshalText implements encoding.TextMarshaler.
+func (f FitPolicy) MarshalText() ([]byte, error) { return enumText(fitNames, f) }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (f *FitPolicy) UnmarshalText(b []byte) error {
+	v, err := ParseFitPolicy(string(b))
+	if err != nil {
+		return err
+	}
+	*f = v
+	return nil
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (o ListOrder) MarshalText() ([]byte, error) { return enumText(orderNames, o) }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (o *ListOrder) UnmarshalText(b []byte) error {
+	v, err := ParseListOrder(string(b))
+	if err != nil {
+		return err
+	}
+	*o = v
+	return nil
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (l ListLinks) MarshalText() ([]byte, error) { return enumText(linkNames, l) }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (l *ListLinks) UnmarshalText(b []byte) error {
+	v, err := ParseListLinks(string(b))
+	if err != nil {
+		return err
+	}
+	*l = v
+	return nil
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (c CoalesceMode) MarshalText() ([]byte, error) { return enumText(coalesceNames, c) }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (c *CoalesceMode) UnmarshalText(b []byte) error {
+	return parseInto(coalesceNames, string(b), c, "coalesce mode")
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (s SplitMode) MarshalText() ([]byte, error) { return enumText(splitNames, s) }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (s *SplitMode) UnmarshalText(b []byte) error {
+	return parseInto(splitNames, string(b), s, "split mode")
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (h HeaderMode) MarshalText() ([]byte, error) { return enumText(headerNames, h) }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (h *HeaderMode) UnmarshalText(b []byte) error {
+	return parseInto(headerNames, string(b), h, "header mode")
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (g GrowthMode) MarshalText() ([]byte, error) { return enumText(growthNames, g) }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (g *GrowthMode) UnmarshalText(b []byte) error {
+	return parseInto(growthNames, string(b), g, "growth mode")
+}
+
+func enumText[K comparable](names map[K]string, v K) ([]byte, error) {
+	s, ok := names[v]
+	if !ok {
+		return nil, fmt.Errorf("alloc: invalid enum value %v", v)
+	}
+	return []byte(s), nil
+}
+
+func parseInto[K comparable](names map[K]string, s string, dst *K, kind string) error {
+	for k, v := range names {
+		if v == s {
+			*dst = k
+			return nil
+		}
+	}
+	return fmt.Errorf("alloc: unknown %s %q", kind, s)
+}

@@ -1,0 +1,73 @@
+package alloc
+
+// Config presets for the OS-style general-purpose baselines the paper's
+// custom configurations are compared against. Expressing them as presets
+// of the same parameterized framework mirrors the composable-allocator
+// observation (Berger et al., PLDI'01) that classic allocators are points
+// in the same design space.
+
+// KingsleyConfig returns a Kingsley-style power-of-two segregated-storage
+// allocator (the BSD 4.2 malloc family): requests round up to the next
+// power of two, each class keeps its own LIFO free list, blocks are never
+// split or coalesced. Very fast, worst-case ~2x internal fragmentation.
+// layer names the hierarchy layer the whole heap lives in.
+func KingsleyConfig(layer string) Config {
+	return Config{
+		Label: "kingsley",
+		General: GeneralConfig{
+			Layer:        layer,
+			Classes:      "pow2:16:65536",
+			Fit:          ExactFit,
+			Order:        LIFO,
+			Links:        SingleLink,
+			Split:        SplitNever,
+			Coalesce:     CoalesceNever,
+			Headers:      HeaderMinimal,
+			Growth:       GrowFixedChunk,
+			ChunkBytes:   16 * 1024,
+			RoundToClass: true,
+		},
+	}
+}
+
+// LeaConfig returns a Lea-style (dlmalloc-like) allocator: segregated
+// best-fit over fine-grained classes, boundary tags, immediate
+// coalescing and always-split — the de facto general-purpose heap in
+// embedded OS C libraries. Low fragmentation, more bookkeeping accesses.
+func LeaConfig(layer string) Config {
+	return Config{
+		Label: "lea",
+		General: GeneralConfig{
+			Layer:      layer,
+			Classes:    "linear:8:512",
+			Fit:        BestFit,
+			Order:      FIFO,
+			Links:      DoubleLink,
+			Split:      SplitAlways,
+			Coalesce:   CoalesceImmediate,
+			Headers:    HeaderBoundaryTag,
+			Growth:     GrowFixedChunk,
+			ChunkBytes: 16 * 1024,
+		},
+	}
+}
+
+// SimpleFirstFitConfig returns the most naive heap: one address-ordered
+// free list, first fit, immediate coalescing — the textbook K&R malloc.
+func SimpleFirstFitConfig(layer string) Config {
+	return Config{
+		Label: "firstfit",
+		General: GeneralConfig{
+			Layer:      layer,
+			Classes:    "single",
+			Fit:        FirstFit,
+			Order:      AddrOrder,
+			Links:      SingleLink,
+			Split:      SplitAlways,
+			Coalesce:   CoalesceImmediate,
+			Headers:    HeaderBoundaryTag,
+			Growth:     GrowFixedChunk,
+			ChunkBytes: 16 * 1024,
+		},
+	}
+}

@@ -1,0 +1,129 @@
+package alloc
+
+import (
+	"fmt"
+
+	"dmexplore/internal/simheap"
+)
+
+// SizeClasser maps requested sizes to the segregated bins of a general
+// pool. Implementations must be pure functions of the size: the class of
+// a block never changes over its lifetime.
+type SizeClasser interface {
+	// NumClasses returns the number of bins.
+	NumClasses() int
+	// ClassOf returns the bin index for a requested payload size, or
+	// -1 when the size exceeds the largest class (routed to the last bin
+	// by callers that allow oversize blocks).
+	ClassOf(size int64) int
+	// ClassSize returns the payload capacity of blocks in class c.
+	ClassSize(c int) int64
+	// String describes the map for configuration IDs.
+	String() string
+}
+
+// Pow2Classes bins sizes by the next power of two, the classic Kingsley
+// organisation: fast class computation, up to ~50% internal fragmentation.
+type Pow2Classes struct {
+	MinSize int64 // payload capacity of class 0 (power of two)
+	MaxSize int64 // payload capacity of the last class (power of two)
+
+	classes int
+}
+
+// NewPow2Classes builds a power-of-two map covering [minSize, maxSize].
+func NewPow2Classes(minSize, maxSize int64) (*Pow2Classes, error) {
+	if minSize <= 0 || maxSize < minSize {
+		return nil, fmt.Errorf("alloc: bad pow2 class range [%d,%d]", minSize, maxSize)
+	}
+	if minSize&(minSize-1) != 0 || maxSize&(maxSize-1) != 0 {
+		return nil, fmt.Errorf("alloc: pow2 class bounds must be powers of two")
+	}
+	n := 1
+	for s := minSize; s < maxSize; s <<= 1 {
+		n++
+	}
+	return &Pow2Classes{MinSize: minSize, MaxSize: maxSize, classes: n}, nil
+}
+
+// NumClasses implements SizeClasser.
+func (p *Pow2Classes) NumClasses() int { return p.classes }
+
+// ClassOf implements SizeClasser.
+func (p *Pow2Classes) ClassOf(size int64) int {
+	if size > p.MaxSize {
+		return -1
+	}
+	c := 0
+	s := p.MinSize
+	for s < size {
+		s <<= 1
+		c++
+	}
+	return c
+}
+
+// ClassSize implements SizeClasser.
+func (p *Pow2Classes) ClassSize(c int) int64 { return p.MinSize << uint(c) }
+
+func (p *Pow2Classes) String() string {
+	return fmt.Sprintf("pow2[%d..%d]", p.MinSize, p.MaxSize)
+}
+
+// LinearClasses bins sizes in fixed-width steps, trading more bins for
+// bounded internal fragmentation (at most Step-1 bytes per block).
+type LinearClasses struct {
+	Step    int64 // bin width in bytes (word multiple)
+	MaxSize int64 // payload capacity of the last class
+
+	classes int
+}
+
+// NewLinearClasses builds a linear map with the given step covering
+// (0, maxSize].
+func NewLinearClasses(step, maxSize int64) (*LinearClasses, error) {
+	if step <= 0 || maxSize < step {
+		return nil, fmt.Errorf("alloc: bad linear class params step=%d max=%d", step, maxSize)
+	}
+	if step%simheap.WordSize != 0 {
+		return nil, fmt.Errorf("alloc: linear class step %d not word-aligned", step)
+	}
+	if maxSize%step != 0 {
+		return nil, fmt.Errorf("alloc: linear class max %d not a multiple of step %d", maxSize, step)
+	}
+	return &LinearClasses{Step: step, MaxSize: maxSize, classes: int(maxSize / step)}, nil
+}
+
+// NumClasses implements SizeClasser.
+func (l *LinearClasses) NumClasses() int { return l.classes }
+
+// ClassOf implements SizeClasser.
+func (l *LinearClasses) ClassOf(size int64) int {
+	if size > l.MaxSize {
+		return -1
+	}
+	return int((size+l.Step-1)/l.Step) - 1
+}
+
+// ClassSize implements SizeClasser.
+func (l *LinearClasses) ClassSize(c int) int64 { return int64(c+1) * l.Step }
+
+func (l *LinearClasses) String() string {
+	return fmt.Sprintf("linear[%d,%d]", l.Step, l.MaxSize)
+}
+
+// SingleClass places every size in one bin: the degenerate map used by
+// unsegregated pools (a single free list for all sizes).
+type SingleClass struct{}
+
+// NumClasses implements SizeClasser.
+func (SingleClass) NumClasses() int { return 1 }
+
+// ClassOf implements SizeClasser.
+func (SingleClass) ClassOf(size int64) int { return 0 }
+
+// ClassSize returns 0: a single class has no fixed capacity; blocks keep
+// their own sizes.
+func (SingleClass) ClassSize(c int) int64 { return 0 }
+
+func (SingleClass) String() string { return "single" }

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+
+	"dmexplore/internal/memhier"
+	"dmexplore/internal/profile"
+	"dmexplore/internal/trace"
+)
+
+// ResultsCache persists profiling results across tool invocations so an
+// interrupted or repeated exploration only simulates configurations it
+// has not seen before. Entries are keyed by the (configuration ID,
+// trace, hierarchy) triple — any change to the workload or platform
+// invalidates naturally because the key changes.
+//
+// On disk the cache is a JSON-lines file, appended in memory and written
+// atomically by Save.
+type ResultsCache struct {
+	path string
+
+	mu      sync.Mutex
+	entries map[string]*profile.Metrics
+	dirty   bool
+}
+
+// cacheEntry is the on-disk record.
+type cacheEntry struct {
+	Key     string           `json:"key"`
+	Metrics *profile.Metrics `json:"metrics"`
+}
+
+// OpenResultsCache loads the cache at path, creating an empty one when
+// the file does not exist yet.
+func OpenResultsCache(path string) (*ResultsCache, error) {
+	c := &ResultsCache{path: path, entries: make(map[string]*profile.Metrics)}
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return c, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64*1024), 16<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var e cacheEntry
+		if err := json.Unmarshal([]byte(text), &e); err != nil {
+			return nil, fmt.Errorf("core: cache %s line %d: %w", path, line, err)
+		}
+		if e.Key == "" || e.Metrics == nil {
+			return nil, fmt.Errorf("core: cache %s line %d: incomplete entry", path, line)
+		}
+		c.entries[e.Key] = e.Metrics
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// CacheKey builds the lookup key for one profiling run.
+func CacheKey(configID string, tr *trace.Trace, h *memhier.Hierarchy) string {
+	return fmt.Sprintf("%s\x1f%s(%d)\x1f%s", configID, tr.Name, tr.Len(), h.String())
+}
+
+// Get returns the cached metrics for key, if present.
+func (c *ResultsCache) Get(key string) (*profile.Metrics, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, ok := c.entries[key]
+	return m, ok
+}
+
+// Put stores metrics under key.
+func (c *ResultsCache) Put(key string, m *profile.Metrics) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[key] = m
+	c.dirty = true
+}
+
+// Len returns the number of cached entries.
+func (c *ResultsCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Save writes the cache atomically (write temp, rename). A clean cache is
+// a no-op.
+func (c *ResultsCache) Save() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.dirty {
+		return nil
+	}
+	tmp := c.path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := c.writeAll(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, c.path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	c.dirty = false
+	return nil
+}
+
+func (c *ResultsCache) writeAll(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for key, m := range c.entries {
+		if err := enc.Encode(cacheEntry{Key: key, Metrics: m}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dmexplore/internal/memhier"
+	"dmexplore/internal/profile"
+)
+
+func TestResultsCacheRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.jsonl")
+	c, err := OpenResultsCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("fresh cache not empty")
+	}
+	m := &profile.Metrics{Accesses: 42, FootprintBytes: 1000, EnergyNJ: 1.5, Cycles: 99}
+	c.Put("k1", m)
+	c.Put("k2", &profile.Metrics{Accesses: 7})
+	if err := c.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenResultsCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 2 {
+		t.Fatalf("reloaded %d entries", re.Len())
+	}
+	got, ok := re.Get("k1")
+	if !ok || got.Accesses != 42 || got.EnergyNJ != 1.5 {
+		t.Fatalf("entry k1: %+v %v", got, ok)
+	}
+	if _, ok := re.Get("nope"); ok {
+		t.Fatal("phantom entry")
+	}
+}
+
+func TestResultsCacheSaveNoopWhenClean(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.jsonl")
+	c, _ := OpenResultsCache(path)
+	if err := c.Save(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("clean save created a file")
+	}
+}
+
+func TestResultsCacheRejectsCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.jsonl")
+	os.WriteFile(path, []byte("not json\n"), 0o644)
+	if _, err := OpenResultsCache(path); err == nil {
+		t.Fatal("corrupt cache accepted")
+	}
+	os.WriteFile(path, []byte(`{"key":"","metrics":null}`+"\n"), 0o644)
+	if _, err := OpenResultsCache(path); err == nil {
+		t.Fatal("incomplete entry accepted")
+	}
+}
+
+func TestCacheKeyDiscriminates(t *testing.T) {
+	tr := tinyTrace(t)
+	h := memhier.EmbeddedSoC()
+	k1 := CacheKey("cfgA", tr, h)
+	k2 := CacheKey("cfgB", tr, h)
+	if k1 == k2 {
+		t.Fatal("config not in key")
+	}
+	if CacheKey("cfgA", tr, memhier.FlatDRAM()) == k1 {
+		t.Fatal("hierarchy not in key")
+	}
+}
+
+func TestRunnerUsesCache(t *testing.T) {
+	tr := tinyTrace(t)
+	path := filepath.Join(t.TempDir(), "cache.jsonl")
+	cache, err := OpenResultsCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := tinySpace()
+	r := &Runner{Hierarchy: memhier.EmbeddedSoC(), Trace: tr, Cache: cache}
+	first, err := r.Explore(space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != space.Size() {
+		t.Fatalf("cache has %d entries after sweep of %d", cache.Len(), space.Size())
+	}
+	if err := cache.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-open and re-run: results must be identical and come from cache
+	// (verified by poisoning one entry and seeing it surface).
+	cache2, err := OpenResultsCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, _, _ := space.Config(0)
+	key := CacheKey(cfg.ID(), tr, r.Hierarchy)
+	poisoned := &profile.Metrics{Accesses: 123456789}
+	cache2.Put(key, poisoned)
+	r2 := &Runner{Hierarchy: memhier.EmbeddedSoC(), Trace: tr, Cache: cache2}
+	second, err := r2.Explore(space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second[0].Metrics.Accesses != 123456789 {
+		t.Fatal("cache not consulted")
+	}
+	for i := 1; i < len(first); i++ {
+		if first[i].Metrics.Accesses != second[i].Metrics.Accesses {
+			t.Fatalf("config %d differs across cached runs", i)
+		}
+	}
+}

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dmexplore/internal/pareto"
+	"dmexplore/internal/stats"
+)
+
+// Evolve approximates the Pareto front with an NSGA-II-style evolutionary
+// search over the axis grid: a population of configurations evolves under
+// non-dominated sorting and crowding-distance selection, with uniform
+// crossover and per-axis mutation. For spaces far beyond exhaustive reach
+// (the full 64,800-point product and larger) this finds near-complete
+// fronts within a few thousand simulations.
+//
+// Returns every configuration profiled during the run (deduplicated);
+// callers extract the front with ParetoSet.
+func (r *Runner) Evolve(space *Space, objectives []string, opts EvolveOptions) ([]Result, error) {
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	if len(objectives) < 2 {
+		return nil, fmt.Errorf("core: evolve needs at least two objectives")
+	}
+	opts = opts.withDefaults()
+	if opts.Population < 4 || opts.Population%2 != 0 {
+		return nil, fmt.Errorf("core: population %d must be an even number >= 4", opts.Population)
+	}
+	if opts.Budget < opts.Population {
+		return nil, fmt.Errorf("core: budget %d below population %d", opts.Budget, opts.Population)
+	}
+
+	cache := newEvalCache(r, space)
+	rng := stats.NewRNG(opts.Seed)
+
+	// Initial population: uniform random genomes.
+	pop := make([]int, 0, opts.Population)
+	seen := make(map[int]bool)
+	for len(pop) < opts.Population {
+		idx := rng.Intn(space.Size())
+		if seen[idx] && len(seen) < space.Size() {
+			continue
+		}
+		seen[idx] = true
+		pop = append(pop, idx)
+	}
+	if err := evalAll(cache, pop); err != nil {
+		return nil, err
+	}
+
+	dryGenerations := 0
+	for len(cache.results) < opts.Budget && len(cache.results) < space.Size() {
+		evalsBefore := len(cache.results)
+		// Offspring via binary tournaments, crossover, mutation.
+		ranks, crowd, err := rankAndCrowd(cache, pop, objectives)
+		if err != nil {
+			return nil, err
+		}
+		offspring := make([]int, 0, opts.Population)
+		newEvals := 0
+		remaining := opts.Budget - len(cache.results)
+		for len(offspring) < opts.Population && newEvals < remaining {
+			a := tournament(rng, pop, ranks, crowd)
+			b := tournament(rng, pop, ranks, crowd)
+			child := crossover(rng, space, a, b)
+			child = mutate(rng, space, child, opts.MutationRate)
+			if _, cached := cache.results[child]; !cached {
+				newEvals++
+			}
+			offspring = append(offspring, child)
+		}
+		if err := evalAll(cache, offspring); err != nil {
+			return nil, err
+		}
+
+		// Environmental selection over parents + offspring.
+		union := append(append([]int(nil), pop...), offspring...)
+		union = dedupInts(union)
+		ranks, crowd, err = rankAndCrowd(cache, union, objectives)
+		if err != nil {
+			return nil, err
+		}
+		sort.SliceStable(union, func(i, j int) bool {
+			a, b := union[i], union[j]
+			if ranks[a] != ranks[b] {
+				return ranks[a] < ranks[b]
+			}
+			return crowd[a] > crowd[b]
+		})
+		if len(union) > opts.Population {
+			union = union[:opts.Population]
+		}
+		pop = union
+
+		if len(cache.results) == evalsBefore {
+			// No unseen configuration this generation: converged (or a
+			// small space is nearly saturated). Allow a few dry
+			// generations before giving up — mutation may still escape.
+			dryGenerations++
+			if dryGenerations >= 3 {
+				break
+			}
+		} else {
+			dryGenerations = 0
+		}
+	}
+	return cache.all(), nil
+}
+
+// EvolveOptions tune the evolutionary search.
+type EvolveOptions struct {
+	Population   int     // even, >= 4 (default 32)
+	Budget       int     // total simulations (default 16 generations worth)
+	MutationRate float64 // per-axis mutation probability (default 1/axes)
+	Seed         uint64
+}
+
+func (o EvolveOptions) withDefaults() EvolveOptions {
+	if o.Population == 0 {
+		o.Population = 32
+	}
+	if o.Budget == 0 {
+		o.Budget = o.Population * 16
+	}
+	return o
+}
+
+func evalAll(cache *evalCache, indices []int) error {
+	for _, idx := range indices {
+		if _, err := cache.get(idx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rankAndCrowd computes non-domination ranks (0 = front) and crowding
+// distances for the given population members. Infeasible configurations
+// rank behind every feasible one.
+func rankAndCrowd(cache *evalCache, pop []int, objectives []string) (map[int]int, map[int]float64, error) {
+	ranks := make(map[int]int, len(pop))
+	crowd := make(map[int]float64, len(pop))
+
+	var feasible []pareto.Point
+	for _, idx := range pop {
+		res := cache.results[idx]
+		if res.Metrics == nil || !res.Metrics.Feasible() {
+			ranks[idx] = math.MaxInt32 // infeasible: worst rank
+			crowd[idx] = 0
+			continue
+		}
+		vals := make([]float64, len(objectives))
+		for d, obj := range objectives {
+			v, err := res.Metrics.Objective(obj)
+			if err != nil {
+				return nil, nil, err
+			}
+			vals[d] = v
+		}
+		feasible = append(feasible, pareto.Point{Tag: fmt.Sprint(idx), Values: vals})
+	}
+
+	// Peel fronts: rank 0 is the Pareto front of the remainder, etc.
+	remaining := feasible
+	rank := 0
+	for len(remaining) > 0 {
+		front := pareto.Front(remaining)
+		inFront := make(map[string]bool, len(front))
+		for _, p := range front {
+			inFront[p.Tag] = true
+			idx := mustAtoi(p.Tag)
+			ranks[idx] = rank
+		}
+		crowding(front, crowd)
+		next := remaining[:0:0]
+		for _, p := range remaining {
+			if !inFront[p.Tag] {
+				next = append(next, p)
+			}
+		}
+		remaining = next
+		rank++
+	}
+	return ranks, crowd, nil
+}
+
+// crowding assigns the NSGA-II crowding distance within one front.
+func crowding(front []pareto.Point, crowd map[int]float64) {
+	if len(front) == 0 {
+		return
+	}
+	dim := len(front[0].Values)
+	for _, p := range front {
+		crowd[mustAtoi(p.Tag)] = 0
+	}
+	for d := 0; d < dim; d++ {
+		sorted := append([]pareto.Point(nil), front...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Values[d] < sorted[j].Values[d] })
+		lo, hi := sorted[0].Values[d], sorted[len(sorted)-1].Values[d]
+		crowd[mustAtoi(sorted[0].Tag)] = math.Inf(1)
+		crowd[mustAtoi(sorted[len(sorted)-1].Tag)] = math.Inf(1)
+		if hi == lo {
+			continue
+		}
+		for i := 1; i < len(sorted)-1; i++ {
+			idx := mustAtoi(sorted[i].Tag)
+			if !math.IsInf(crowd[idx], 1) {
+				crowd[idx] += (sorted[i+1].Values[d] - sorted[i-1].Values[d]) / (hi - lo)
+			}
+		}
+	}
+}
+
+// tournament picks the better of two random members (rank, then crowding).
+func tournament(rng *stats.RNG, pop []int, ranks map[int]int, crowd map[int]float64) int {
+	a := pop[rng.Intn(len(pop))]
+	b := pop[rng.Intn(len(pop))]
+	if ranks[a] != ranks[b] {
+		if ranks[a] < ranks[b] {
+			return a
+		}
+		return b
+	}
+	if crowd[a] >= crowd[b] {
+		return a
+	}
+	return b
+}
+
+// crossover mixes two genomes axis-wise (uniform crossover).
+func crossover(rng *stats.RNG, space *Space, a, b int) int {
+	da, db := space.digits(a), space.digits(b)
+	child := make([]int, len(da))
+	for i := range child {
+		if rng.Bool(0.5) {
+			child[i] = da[i]
+		} else {
+			child[i] = db[i]
+		}
+	}
+	return space.index(child)
+}
+
+// mutate re-rolls each axis with probability rate (default 1/axes).
+func mutate(rng *stats.RNG, space *Space, idx int, rate float64) int {
+	if rate <= 0 {
+		rate = 1 / float64(len(space.Axes))
+	}
+	d := space.digits(idx)
+	for ax := range d {
+		if rng.Bool(rate) {
+			d[ax] = rng.Intn(len(space.Axes[ax].Options))
+		}
+	}
+	return space.index(d)
+}
+
+func dedupInts(xs []int) []int {
+	seen := make(map[int]bool, len(xs))
+	out := xs[:0:0]
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func mustAtoi(s string) int {
+	n := 0
+	for _, c := range s {
+		n = n*10 + int(c-'0')
+	}
+	return n
+}

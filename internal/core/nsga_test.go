@@ -1,0 +1,148 @@
+package core
+
+import (
+	"testing"
+
+	"dmexplore/internal/memhier"
+	"dmexplore/internal/pareto"
+	"dmexplore/internal/profile"
+)
+
+func TestEvolveValidation(t *testing.T) {
+	r := searchRunner(t)
+	objs := []string{profile.ObjAccesses, profile.ObjFootprint}
+	if _, err := r.Evolve(tinySpace(), []string{profile.ObjAccesses}, EvolveOptions{}); err == nil {
+		t.Fatal("single objective accepted")
+	}
+	if _, err := r.Evolve(tinySpace(), objs, EvolveOptions{Population: 3, Budget: 100}); err == nil {
+		t.Fatal("odd population accepted")
+	}
+	if _, err := r.Evolve(tinySpace(), objs, EvolveOptions{Population: 8, Budget: 4}); err == nil {
+		t.Fatal("budget below population accepted")
+	}
+}
+
+func TestEvolveTinySpaceFindsTrueFront(t *testing.T) {
+	r := searchRunner(t)
+	space := tinySpace()
+	objs := []string{profile.ObjAccesses, profile.ObjFootprint}
+	results, err := r.Evolve(space, objs, EvolveOptions{Population: 4, Budget: 24, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tiny space (6 configs) with budget 24: everything gets evaluated.
+	approx, _, err := ParetoSet(Feasible(results), objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := r.Explore(space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, _, err := ParetoSet(Feasible(all), objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(approx) != len(truth) {
+		t.Fatalf("front %d vs true %d", len(approx), len(truth))
+	}
+}
+
+func TestEvolveApproximatesLargeFront(t *testing.T) {
+	// On the 640-config Easyport space with a small trace, the
+	// evolutionary front's hypervolume must dominate random sampling at
+	// the same budget.
+	r := &Runner{Hierarchy: memhier.EmbeddedSoC(), Trace: tinyTrace(t), Workers: 4}
+	space := EasyportSpace()
+	objs := []string{profile.ObjAccesses, profile.ObjFootprint}
+	const budget = 128
+
+	evolved, err := r.Evolve(space, objs, EvolveOptions{Population: 16, Budget: budget, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evolved) > budget {
+		t.Fatalf("evolve used %d > budget %d", len(evolved), budget)
+	}
+	sampled, err := r.Sample(space, budget, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, ePoints, err := ParetoSet(Feasible(evolved), objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sPoints, err := ParetoSet(Feasible(sampled), objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := [2]float64{}
+	for _, pts := range [][]pareto.Point{ePoints, sPoints} {
+		for _, p := range pts {
+			for d := 0; d < 2; d++ {
+				if p.Values[d] > ref[d] {
+					ref[d] = p.Values[d]
+				}
+			}
+		}
+	}
+	ref[0] *= 1.01
+	ref[1] *= 1.01
+	ehv := pareto.Hypervolume2D(ePoints, ref)
+	shv := pareto.Hypervolume2D(sPoints, ref)
+	if ehv < shv*0.98 {
+		t.Fatalf("evolved hypervolume %.4g clearly below random %.4g", ehv, shv)
+	}
+}
+
+func TestEvolveDeterministic(t *testing.T) {
+	r := searchRunner(t)
+	space := EasyportSpace()
+	objs := []string{profile.ObjAccesses, profile.ObjFootprint}
+	opts := EvolveOptions{Population: 8, Budget: 40, Seed: 11}
+	a, err := r.Evolve(space, objs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Evolve(space, objs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("run lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Index != b[i].Index {
+			t.Fatalf("evaluation order differs at %d", i)
+		}
+	}
+}
+
+func TestMustAtoi(t *testing.T) {
+	for _, c := range []struct {
+		s    string
+		want int
+	}{{"0", 0}, {"7", 7}, {"123", 123}, {"45678", 45678}} {
+		if got := mustAtoi(c.s); got != c.want {
+			t.Fatalf("mustAtoi(%q) = %d", c.s, got)
+		}
+	}
+}
+
+func TestCrossoverAndMutateStayInSpace(t *testing.T) {
+	space := EasyportSpace()
+	rng := newTestRNG()
+	for i := 0; i < 500; i++ {
+		a := rng.Intn(space.Size())
+		b := rng.Intn(space.Size())
+		child := crossover(rng, space, a, b)
+		if child < 0 || child >= space.Size() {
+			t.Fatalf("crossover escaped: %d", child)
+		}
+		m := mutate(rng, space, child, 0.3)
+		if m < 0 || m >= space.Size() {
+			t.Fatalf("mutation escaped: %d", m)
+		}
+	}
+}

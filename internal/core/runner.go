@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dmexplore/internal/memhier"
+	"dmexplore/internal/profile"
+	"dmexplore/internal/stats"
+	"dmexplore/internal/trace"
+)
+
+// Result is the outcome of profiling one configuration of a space.
+type Result struct {
+	Index   int
+	Labels  []string // per-axis option labels
+	Metrics *profile.Metrics
+	Err     error
+}
+
+// Runner drives an exploration: one trace, one hierarchy, many
+// configurations, profiled in parallel.
+type Runner struct {
+	Hierarchy *memhier.Hierarchy
+	Trace     *trace.Trace
+
+	// Workers caps the number of concurrent simulations; 0 means
+	// GOMAXPROCS.
+	Workers int
+
+	// Progress, when non-nil, is called after each configuration
+	// completes with (done, total). Calls may arrive from multiple
+	// goroutines; implementations must be safe for concurrent use.
+	Progress func(done, total int)
+
+	// Options are passed through to every profiling run.
+	Options profile.Options
+
+	// Cache, when non-nil, memoizes profiling results across runs and
+	// tool invocations. Cache hits skip the simulation entirely — and
+	// therefore any Options side effects (raw logs, series) for that
+	// configuration.
+	Cache *ResultsCache
+}
+
+// Explore profiles every configuration of the space exhaustively and
+// returns results indexed identically to the space (result i is
+// configuration i).
+func (r *Runner) Explore(space *Space) ([]Result, error) {
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	indices := make([]int, space.Size())
+	for i := range indices {
+		indices[i] = i
+	}
+	return r.run(space, indices)
+}
+
+// Sample profiles n distinct configurations drawn uniformly from the
+// space (all of them when n >= space.Size()).
+func (r *Runner) Sample(space *Space, n int, seed uint64) ([]Result, error) {
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("core: sample size %d", n)
+	}
+	size := space.Size()
+	if n >= size {
+		return r.Explore(space)
+	}
+	rng := stats.NewRNG(seed)
+	perm := rng.Perm(size)
+	indices := perm[:n]
+	return r.run(space, indices)
+}
+
+func (r *Runner) run(space *Space, indices []int) ([]Result, error) {
+	if r.Hierarchy == nil || r.Trace == nil {
+		return nil, fmt.Errorf("core: runner needs a hierarchy and a trace")
+	}
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(indices) {
+		workers = len(indices)
+	}
+
+	results := make([]Result, len(indices))
+	var (
+		wg   sync.WaitGroup
+		next int
+		mu   sync.Mutex
+		done int
+	)
+	// Axis combinations can collapse to the same configuration (an axis
+	// that is inapplicable under another axis's value, e.g. pool
+	// reclamation with no pools). Memoize within the run by canonical
+	// configuration ID so duplicates cost one simulation.
+	idMemo := make(map[string]*profile.Metrics)
+	var memoMu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if next >= len(indices) {
+					mu.Unlock()
+					return
+				}
+				slot := next
+				next++
+				mu.Unlock()
+
+				idx := indices[slot]
+				res := Result{Index: idx}
+				cfg, labels, err := space.Config(idx)
+				if err != nil {
+					res.Err = err
+				} else {
+					res.Labels = labels
+					id := cfg.ID()
+					memoMu.Lock()
+					memoized := idMemo[id]
+					memoMu.Unlock()
+					if memoized != nil {
+						res.Metrics = memoized
+					}
+					key := ""
+					if res.Metrics == nil && r.Cache != nil {
+						key = CacheKey(id, r.Trace, r.Hierarchy)
+						if m, ok := r.Cache.Get(key); ok {
+							res.Metrics = m
+						}
+					}
+					if res.Metrics == nil {
+						res.Metrics, res.Err = profile.Run(r.Trace, cfg, r.Hierarchy, r.Options)
+						if res.Err == nil && r.Cache != nil {
+							r.Cache.Put(key, res.Metrics)
+						}
+					}
+					if res.Err == nil && memoized == nil {
+						memoMu.Lock()
+						idMemo[id] = res.Metrics
+						memoMu.Unlock()
+					}
+				}
+				results[slot] = res
+
+				if r.Progress != nil {
+					mu.Lock()
+					done++
+					d := done
+					mu.Unlock()
+					r.Progress(d, len(indices))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	for _, res := range results {
+		if res.Err != nil {
+			return results, fmt.Errorf("core: configuration %d: %w", res.Index, res.Err)
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,324 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"dmexplore/internal/profile"
+	"dmexplore/internal/stats"
+)
+
+// Search strategies for spaces too large to sweep exhaustively. The
+// paper's tool enumerates the full product; these extend it with the
+// standard design-space-exploration alternatives so a front can be
+// approximated at a fraction of the simulations:
+//
+//   - HillClimb: scalarized (weighted-sum) local search over the axis
+//     grid.
+//   - Anneal: simulated annealing over the same neighbourhood.
+//   - ScreenAndRefine: uniform screening sample, then exhaustive
+//     Hamming-1 neighbourhoods around the screened Pareto front — the
+//     strategy best matched to Pareto exploration.
+//
+// All strategies deduplicate configuration evaluations and return every
+// result they profiled (so fronts/ranges can be computed over the union).
+
+// Objective weights for scalarized search.
+type Weighted struct {
+	Objective string
+	Weight    float64
+}
+
+// evalCache memoizes profiled configurations by space index.
+type evalCache struct {
+	runner  *Runner
+	space   *Space
+	results map[int]Result
+	order   []int
+}
+
+func newEvalCache(r *Runner, s *Space) *evalCache {
+	return &evalCache{runner: r, space: s, results: make(map[int]Result)}
+}
+
+// get profiles configuration idx (once).
+func (c *evalCache) get(idx int) (Result, error) {
+	if res, ok := c.results[idx]; ok {
+		return res, nil
+	}
+	res, err := c.runner.run(c.space, []int{idx})
+	if err != nil {
+		return Result{}, err
+	}
+	c.results[idx] = res[0]
+	c.order = append(c.order, idx)
+	return res[0], nil
+}
+
+// all returns every profiled result in evaluation order.
+func (c *evalCache) all() []Result {
+	out := make([]Result, 0, len(c.order))
+	for _, idx := range c.order {
+		out = append(out, c.results[idx])
+	}
+	return out
+}
+
+// scalarize computes the weighted sum of normalized-by-reference
+// objectives; infeasible configurations score +Inf.
+func scalarize(m *profile.Metrics, weights []Weighted, ref map[string]float64) (float64, error) {
+	if !m.Feasible() {
+		return math.Inf(1), nil
+	}
+	var sum float64
+	for _, w := range weights {
+		v, err := m.Objective(w.Objective)
+		if err != nil {
+			return 0, err
+		}
+		r := ref[w.Objective]
+		if r <= 0 {
+			r = 1
+		}
+		sum += w.Weight * v / r
+	}
+	return sum, nil
+}
+
+// digits decodes a space index into per-axis option indices and back.
+func (s *Space) digits(idx int) []int {
+	out := make([]int, len(s.Axes))
+	for i := len(s.Axes) - 1; i >= 0; i-- {
+		n := len(s.Axes[i].Options)
+		out[i] = idx % n
+		idx /= n
+	}
+	return out
+}
+
+func (s *Space) index(digits []int) int {
+	idx := 0
+	for i, d := range digits {
+		idx = idx*len(s.Axes[i].Options) + d
+	}
+	return idx
+}
+
+// neighbors returns all Hamming-1 neighbours of idx in the axis grid.
+func (s *Space) neighbors(idx int) []int {
+	base := s.digits(idx)
+	var out []int
+	for ax := range s.Axes {
+		for v := 0; v < len(s.Axes[ax].Options); v++ {
+			if v == base[ax] {
+				continue
+			}
+			d := append([]int(nil), base...)
+			d[ax] = v
+			out = append(out, s.index(d))
+		}
+	}
+	return out
+}
+
+// SearchResult is the outcome of a heuristic search.
+type SearchResult struct {
+	Best      Result   // best configuration under the scalarized objective
+	BestScore float64  // its score
+	Evaluated []Result // every profiled configuration, in evaluation order
+}
+
+// HillClimb performs steepest-descent local search from a random start,
+// restarting until the simulation budget is used. budget counts profiled
+// configurations.
+func (r *Runner) HillClimb(space *Space, weights []Weighted, budget int, seed uint64) (*SearchResult, error) {
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	if len(weights) == 0 || budget <= 0 {
+		return nil, fmt.Errorf("core: hill climb needs weights and a positive budget")
+	}
+	cache := newEvalCache(r, space)
+	rng := stats.NewRNG(seed)
+	ref, err := referenceScales(r, space, cache, weights, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	best := Result{Index: -1}
+	bestScore := math.Inf(1)
+	for len(cache.results) < budget {
+		cur, err := cache.get(rng.Intn(space.Size()))
+		if err != nil {
+			return nil, err
+		}
+		curScore, err := scalarize(cur.Metrics, weights, ref)
+		if err != nil {
+			return nil, err
+		}
+		for len(cache.results) < budget {
+			improved := false
+			for _, n := range shuffled(rng, space.neighbors(cur.Index)) {
+				if len(cache.results) >= budget {
+					break
+				}
+				cand, err := cache.get(n)
+				if err != nil {
+					return nil, err
+				}
+				score, err := scalarize(cand.Metrics, weights, ref)
+				if err != nil {
+					return nil, err
+				}
+				if score < curScore {
+					cur, curScore = cand, score
+					improved = true
+					break // steepest-enough: first improvement
+				}
+			}
+			if !improved {
+				break
+			}
+		}
+		if curScore < bestScore {
+			best, bestScore = cur, curScore
+		}
+	}
+	return &SearchResult{Best: best, BestScore: bestScore, Evaluated: cache.all()}, nil
+}
+
+// Anneal performs simulated annealing over the axis grid.
+func (r *Runner) Anneal(space *Space, weights []Weighted, budget int, seed uint64) (*SearchResult, error) {
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	if len(weights) == 0 || budget <= 0 {
+		return nil, fmt.Errorf("core: annealing needs weights and a positive budget")
+	}
+	cache := newEvalCache(r, space)
+	rng := stats.NewRNG(seed)
+	ref, err := referenceScales(r, space, cache, weights, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	cur, err := cache.get(rng.Intn(space.Size()))
+	if err != nil {
+		return nil, err
+	}
+	curScore, err := scalarize(cur.Metrics, weights, ref)
+	if err != nil {
+		return nil, err
+	}
+	best, bestScore := cur, curScore
+
+	temp := 1.0
+	cooling := math.Pow(0.01, 1/float64(budget)) // reach temp 0.01 at budget
+	for len(cache.results) < budget {
+		ns := space.neighbors(cur.Index)
+		cand, err := cache.get(ns[rng.Intn(len(ns))])
+		if err != nil {
+			return nil, err
+		}
+		score, err := scalarize(cand.Metrics, weights, ref)
+		if err != nil {
+			return nil, err
+		}
+		accept := score < curScore
+		if !accept && !math.IsInf(score, 1) {
+			accept = rng.Float64() < math.Exp((curScore-score)/temp)
+		}
+		if accept {
+			cur, curScore = cand, score
+			if curScore < bestScore {
+				best, bestScore = cur, curScore
+			}
+		}
+		temp *= cooling
+	}
+	return &SearchResult{Best: best, BestScore: bestScore, Evaluated: cache.all()}, nil
+}
+
+// ScreenAndRefine approximates the Pareto front without a full sweep:
+// profile a uniform screening sample, reduce it to its front, then
+// exhaustively profile the Hamming-1 neighbourhood of every front member
+// (repeating until the front stops improving or the budget is spent).
+// Returns every profiled configuration; callers run ParetoSet over it.
+func (r *Runner) ScreenAndRefine(space *Space, objectives []string, screen, budget int, seed uint64) ([]Result, error) {
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	if screen <= 0 || budget < screen {
+		return nil, fmt.Errorf("core: screen %d / budget %d invalid", screen, budget)
+	}
+	cache := newEvalCache(r, space)
+	rng := stats.NewRNG(seed)
+
+	// Screening sample.
+	perm := rng.Perm(space.Size())
+	if screen > len(perm) {
+		screen = len(perm)
+	}
+	for _, idx := range perm[:screen] {
+		if _, err := cache.get(idx); err != nil {
+			return nil, err
+		}
+	}
+
+	for len(cache.results) < budget {
+		front, _, err := ParetoSet(Feasible(cache.all()), objectives)
+		if err != nil {
+			return nil, err
+		}
+		grew := false
+		for _, f := range front {
+			for _, n := range space.neighbors(f.Index) {
+				if len(cache.results) >= budget {
+					break
+				}
+				if _, ok := cache.results[n]; ok {
+					continue
+				}
+				if _, err := cache.get(n); err != nil {
+					return nil, err
+				}
+				grew = true
+			}
+		}
+		if !grew {
+			break
+		}
+	}
+	return cache.all(), nil
+}
+
+// referenceScales profiles a few random configurations to establish the
+// normalization scale per objective for scalarized search.
+func referenceScales(r *Runner, space *Space, cache *evalCache, weights []Weighted, rng *stats.RNG) (map[string]float64, error) {
+	ref := make(map[string]float64)
+	for i := 0; i < 3; i++ {
+		res, err := cache.get(rng.Intn(space.Size()))
+		if err != nil {
+			return nil, err
+		}
+		if !res.Metrics.Feasible() {
+			continue
+		}
+		for _, w := range weights {
+			v, err := res.Metrics.Objective(w.Objective)
+			if err != nil {
+				return nil, err
+			}
+			if v > ref[w.Objective] {
+				ref[w.Objective] = v
+			}
+		}
+	}
+	return ref, nil
+}
+
+func shuffled(rng *stats.RNG, xs []int) []int {
+	out := append([]int(nil), xs...)
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}

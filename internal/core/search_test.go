@@ -1,0 +1,160 @@
+package core
+
+import (
+	"testing"
+
+	"dmexplore/internal/memhier"
+	"dmexplore/internal/profile"
+	"dmexplore/internal/stats"
+)
+
+func searchRunner(t *testing.T) *Runner {
+	t.Helper()
+	return &Runner{Hierarchy: memhier.EmbeddedSoC(), Trace: tinyTrace(t), Workers: 2}
+}
+
+func TestDigitsRoundTrip(t *testing.T) {
+	s := EasyportSpace()
+	for _, idx := range []int{0, 1, 17, 100, s.Size() - 1} {
+		d := s.digits(idx)
+		if got := s.index(d); got != idx {
+			t.Fatalf("digits round trip %d -> %v -> %d", idx, d, got)
+		}
+		for ax, v := range d {
+			if v < 0 || v >= len(s.Axes[ax].Options) {
+				t.Fatalf("digit %d of index %d out of range", ax, idx)
+			}
+		}
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	s := tinySpace() // 2 x 3
+	ns := s.neighbors(0)
+	// Axis 0 has 1 alternative, axis 1 has 2: three neighbours.
+	if len(ns) != 3 {
+		t.Fatalf("neighbors %v", ns)
+	}
+	seen := map[int]bool{}
+	for _, n := range ns {
+		if n == 0 || n < 0 || n >= s.Size() || seen[n] {
+			t.Fatalf("bad neighbour set %v", ns)
+		}
+		seen[n] = true
+		// Hamming distance exactly 1.
+		d0, dn := s.digits(0), s.digits(n)
+		diff := 0
+		for i := range d0 {
+			if d0[i] != dn[i] {
+				diff++
+			}
+		}
+		if diff != 1 {
+			t.Fatalf("neighbour %d at distance %d", n, diff)
+		}
+	}
+}
+
+func TestHillClimbFindsGoodConfig(t *testing.T) {
+	r := searchRunner(t)
+	space := tinySpace()
+	weights := []Weighted{{profile.ObjAccesses, 1}}
+	res, err := r.HillClimb(space, weights, space.Size(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Metrics == nil {
+		t.Fatal("no best found")
+	}
+	// With budget >= space size the climb must find the global optimum.
+	all, err := r.Explore(space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := mustRangeT(t, Feasible(all), profile.ObjAccesses).Min
+	if got := float64(res.Best.Metrics.Accesses); got != best {
+		t.Fatalf("hill climb best %v, global best %v", got, best)
+	}
+	if len(res.Evaluated) > space.Size() {
+		t.Fatalf("evaluated %d > space size (no dedup)", len(res.Evaluated))
+	}
+}
+
+func TestHillClimbValidation(t *testing.T) {
+	r := searchRunner(t)
+	if _, err := r.HillClimb(tinySpace(), nil, 10, 1); err == nil {
+		t.Fatal("no weights accepted")
+	}
+	if _, err := r.HillClimb(tinySpace(), []Weighted{{profile.ObjAccesses, 1}}, 0, 1); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+}
+
+func TestAnnealRespectsBudget(t *testing.T) {
+	r := searchRunner(t)
+	space := tinySpace()
+	res, err := r.Anneal(space, []Weighted{{profile.ObjFootprint, 1}}, 5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Evaluated) > 5 {
+		t.Fatalf("evaluated %d > budget", len(res.Evaluated))
+	}
+	if res.Best.Metrics == nil {
+		t.Fatal("no best")
+	}
+}
+
+func TestScreenAndRefineApproximatesFront(t *testing.T) {
+	r := searchRunner(t)
+	space := tinySpace()
+	objs := []string{profile.ObjAccesses, profile.ObjFootprint}
+	// Budget = whole space: the approximation must equal the true front.
+	results, err := r.ScreenAndRefine(space, objs, 2, space.Size(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approxFront, _, err := ParetoSet(Feasible(results), objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := r.Explore(space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueFront, _, err := ParetoSet(Feasible(all), objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(approxFront) != len(trueFront) {
+		t.Fatalf("approx front %d vs true %d", len(approxFront), len(trueFront))
+	}
+	for i := range trueFront {
+		if approxFront[i].Index != trueFront[i].Index {
+			t.Fatalf("front mismatch at %d", i)
+		}
+	}
+}
+
+func TestScreenAndRefineValidation(t *testing.T) {
+	r := searchRunner(t)
+	objs := []string{profile.ObjAccesses, profile.ObjFootprint}
+	if _, err := r.ScreenAndRefine(tinySpace(), objs, 0, 10, 1); err == nil {
+		t.Fatal("zero screen accepted")
+	}
+	if _, err := r.ScreenAndRefine(tinySpace(), objs, 10, 5, 1); err == nil {
+		t.Fatal("budget < screen accepted")
+	}
+}
+
+func mustRangeT(t *testing.T, rs []Result, obj string) ObjectiveRange {
+	t.Helper()
+	r, err := Range(rs, obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// newTestRNG returns a deterministic RNG for grid-operation tests.
+func newTestRNG() *stats.RNG { return stats.NewRNG(12345) }

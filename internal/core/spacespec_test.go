@@ -1,0 +1,136 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"dmexplore/internal/memhier"
+)
+
+const validSpec = `{
+  "name": "spec-test",
+  "base": {
+    "general": {
+      "layer": "main-dram",
+      "classes": "single",
+      "fit": "first",
+      "order": "lifo",
+      "links": "single",
+      "split": "always",
+      "coalesce": "immediate",
+      "headers": "btag",
+      "growth": "chunk",
+      "chunk_bytes": 8192
+    }
+  },
+  "axes": [
+    {"name": "fit", "options": [
+      {"label": "first", "general": {"fit": "first"}},
+      {"label": "best",  "general": {"fit": "best"}}
+    ]},
+    {"name": "pools", "options": [
+      {"label": "none"},
+      {"label": "d74", "fixed": [{
+        "slot_bytes": 74, "match_lo": 74, "match_hi": 74,
+        "layer": "L1-scratchpad", "order": "lifo", "links": "single",
+        "growth": "chunk", "chunk_slots": 64, "max_bytes": 16384
+      }]}
+    ]}
+  ]
+}`
+
+func TestParseSpaceSpec(t *testing.T) {
+	space, err := ParseSpaceSpec([]byte(validSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if space.Name != "spec-test" || space.Size() != 4 {
+		t.Fatalf("space %s size %d", space.Name, space.Size())
+	}
+	h := memhier.EmbeddedSoC()
+	seen := map[string]bool{}
+	for i := 0; i < space.Size(); i++ {
+		cfg, labels, err := space.Config(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cfg.Validate(h); err != nil {
+			t.Fatalf("config %d (%v): %v", i, labels, err)
+		}
+		seen[cfg.ID()] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("duplicate configs: %d distinct", len(seen))
+	}
+
+	// The fit patch must only change the fit.
+	cfg, labels, _ := space.Config(space.Size() - 1) // best + d74
+	if labels[0] != "best" || labels[1] != "d74" {
+		t.Fatalf("labels %v", labels)
+	}
+	if cfg.General.Fit.String() != "best" {
+		t.Fatalf("fit not patched: %v", cfg.General.Fit)
+	}
+	if cfg.General.Order.String() != "lifo" || cfg.General.ChunkBytes != 8192 {
+		t.Fatal("patch clobbered unrelated fields")
+	}
+	if len(cfg.Fixed) != 1 || cfg.Fixed[0].SlotBytes != 74 {
+		t.Fatalf("fixed pool missing: %+v", cfg.Fixed)
+	}
+}
+
+func TestParseSpaceSpecErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		spec string
+	}{
+		{"garbage", `{`},
+		{"no name", `{"axes":[{"name":"a","options":[{"label":"x"}]}]}`},
+		{"no axes", `{"name":"x"}`},
+		{"empty axis", `{"name":"x","axes":[{"name":"a"}]}`},
+		{"bad patch json", `{"name":"x","axes":[{"name":"a","options":[
+			{"label":"x","general":{"fit": 3.14}}]}]}`},
+		{"unknown patch field", `{"name":"x","axes":[{"name":"a","options":[
+			{"label":"x","general":{"fits":"first"}}]}]}`},
+		{"bad enum in patch", `{"name":"x","axes":[{"name":"a","options":[
+			{"label":"x","general":{"fit":"bogus"}}]}]}`},
+		{"dup labels", `{"name":"x","axes":[{"name":"a","options":[
+			{"label":"x"},{"label":"x"}]}]}`},
+		{"unknown top field", `{"name":"x","nope":1,"axes":[{"name":"a","options":[{"label":"x"}]}]}`},
+	}
+	for _, c := range cases {
+		if _, err := ParseSpaceSpec([]byte(c.spec)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestLoadSpaceSpec(t *testing.T) {
+	space, err := LoadSpaceSpec(strings.NewReader(validSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if space.Size() != 4 {
+		t.Fatalf("size %d", space.Size())
+	}
+}
+
+func TestSpaceSpecExplores(t *testing.T) {
+	space, err := ParseSpaceSpec([]byte(validSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{Hierarchy: memhier.EmbeddedSoC(), Trace: tinyTrace(t)}
+	results, err := r.Explore(space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("results %d", len(results))
+	}
+	for _, res := range results {
+		if res.Metrics == nil || res.Metrics.Accesses == 0 {
+			t.Fatalf("config %d empty", res.Index)
+		}
+	}
+}

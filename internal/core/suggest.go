@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+
+	"dmexplore/internal/alloc"
+	"dmexplore/internal/memhier"
+	"dmexplore/internal/trace"
+)
+
+// SuggestSpace closes the paper's automation loop: given the application's
+// allocation profile (from one profiling run of the unmodified program)
+// and the target hierarchy, it derives the exploration input — dedicated
+// pool candidates for the dominant block sizes (sized to the observed
+// peaks, placed on every affordable layer), plus the standard policy axes.
+// The returned Space is ready for Runner.Explore.
+func SuggestSpace(name string, prof *trace.Profile, h *memhier.Hierarchy) (*Space, error) {
+	if prof == nil || prof.Allocs == 0 {
+		return nil, fmt.Errorf("core: empty profile")
+	}
+	dominant := prof.DominantSizes(2)
+	if len(dominant) == 0 {
+		return nil, fmt.Errorf("core: no dominant sizes")
+	}
+
+	mainLayer := h.Layer(h.Largest()).Name
+
+	// Pool axis: none, each dominant size alone, both; each bounded layer
+	// that could hold a meaningful share of the small pool gets a
+	// placement variant.
+	poolFor := func(vc dominantSize, layer string, budget int64) alloc.FixedConfig {
+		chunk := int(vc.Count / 8)
+		if chunk < 16 {
+			chunk = 16
+		}
+		if chunk > 512 {
+			chunk = 512
+		}
+		return alloc.FixedConfig{
+			SlotBytes: vc.Value, MatchLo: vc.Value, MatchHi: vc.Value,
+			Layer: layer,
+			Order: alloc.LIFO, Links: alloc.SingleLink,
+			Growth: alloc.GrowFixedChunk, ChunkSlots: chunk,
+			MaxBytes: budget,
+		}
+	}
+
+	small := dominantSize{Value: dominant[0].Value, Count: dominant[0].Count}
+	poolOpts := []Option{{Label: "none", Apply: func(c *alloc.Config) {}}}
+	poolOpts = append(poolOpts, Option{
+		Label: fmt.Sprintf("d%d", small.Value),
+		Apply: func(c *alloc.Config) {
+			c.Fixed = append(c.Fixed, poolFor(small, mainLayer, 0))
+		},
+	})
+	// Placement variants on cheaper bounded layers with enough capacity
+	// for at least a quarter of the observed peak small-block demand.
+	for i := 0; i < h.NumLayers()-1; i++ {
+		layer := h.Layer(memhier.LayerID(i))
+		if !layer.Bounded() {
+			continue
+		}
+		demand := small.Value * prof.PeakLiveBlocks // pessimistic upper bound
+		budget := layer.Capacity * 3 / 4
+		if budget < small.Value*16 || budget*4 < demand {
+			continue
+		}
+		layerName := layer.Name
+		poolOpts = append(poolOpts, Option{
+			Label: fmt.Sprintf("d%d@%s", small.Value, layerName),
+			Apply: func(c *alloc.Config) {
+				c.Fixed = append(c.Fixed, poolFor(small, layerName, budget))
+			},
+		})
+	}
+	if len(dominant) > 1 {
+		large := dominantSize{Value: dominant[1].Value, Count: dominant[1].Count}
+		poolOpts = append(poolOpts, Option{
+			Label: fmt.Sprintf("d%d+d%d", small.Value, large.Value),
+			Apply: func(c *alloc.Config) {
+				c.Fixed = append(c.Fixed,
+					poolFor(small, mainLayer, 0),
+					poolFor(large, mainLayer, 0))
+			},
+		})
+	}
+
+	base := alloc.Config{General: alloc.GeneralConfig{
+		Layer:      mainLayer,
+		Classes:    "single",
+		Fit:        alloc.FirstFit,
+		Order:      alloc.LIFO,
+		Links:      alloc.SingleLink,
+		Split:      alloc.SplitAlways,
+		Coalesce:   alloc.CoalesceImmediate,
+		Headers:    alloc.HeaderBoundaryTag,
+		Growth:     alloc.GrowFixedChunk,
+		ChunkBytes: suggestChunk(prof),
+	}}
+
+	space := &Space{
+		Name: name,
+		Base: base,
+		Axes: []Axis{
+			{Name: "pools", Options: poolOpts},
+			{Name: "classes", Options: classesAxis().Options[:4]},
+			{Name: "fit", Options: []Option{fitAxis().Options[0], fitAxis().Options[2]}},
+			coalesceAxis(),
+			splitAxis(),
+		},
+	}
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	return space, nil
+}
+
+// dominantSize mirrors stats.ValueCount without importing it here.
+type dominantSize struct {
+	Value int64
+	Count int64
+}
+
+// suggestChunk picks the general pool's growth quantum from the observed
+// peak demand: roughly 1/16 of the peak, clamped to [4 KB, 64 KB] and
+// rounded to a power of two.
+func suggestChunk(prof *trace.Profile) int64 {
+	chunk := prof.PeakLiveBytes / 16
+	if chunk < 4*1024 {
+		chunk = 4 * 1024
+	}
+	if chunk > 64*1024 {
+		chunk = 64 * 1024
+	}
+	pow := int64(4 * 1024)
+	for pow < chunk {
+		pow <<= 1
+	}
+	return pow
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"dmexplore/internal/memhier"
+	"dmexplore/internal/profile"
+	"dmexplore/internal/trace"
+	"dmexplore/internal/workload"
+)
+
+func easyportProfile(t *testing.T) *trace.Profile {
+	t.Helper()
+	p := workload.DefaultEasyportParams()
+	p.Packets = 3000
+	tr, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace.Analyze(tr)
+}
+
+func TestSuggestSpaceFromEasyport(t *testing.T) {
+	prof := easyportProfile(t)
+	h := memhier.EmbeddedSoC()
+	space, err := SuggestSpace("auto", prof, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := space.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The dominant 74-byte size must drive a pool option, including a
+	// scratchpad placement (the 64 KB scratchpad affords it).
+	labels := make([]string, 0)
+	for _, opt := range space.Axes[0].Options {
+		labels = append(labels, opt.Label)
+	}
+	joined := strings.Join(labels, " ")
+	if !strings.Contains(joined, "d74") {
+		t.Fatalf("no 74-byte pool option: %v", labels)
+	}
+	if !strings.Contains(joined, "d74@"+memhier.LayerScratchpad) {
+		t.Fatalf("no scratchpad placement option: %v", labels)
+	}
+	if !strings.Contains(joined, "d74+d1500") {
+		t.Fatalf("no two-pool option: %v", labels)
+	}
+
+	// Every suggested configuration must validate and build.
+	for i := 0; i < space.Size(); i += space.Size()/37 + 1 {
+		cfg, _, err := space.Config(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cfg.Validate(h); err != nil {
+			t.Fatalf("config %d: %v", i, err)
+		}
+	}
+}
+
+func TestSuggestSpaceExploresToAGoodFront(t *testing.T) {
+	p := workload.DefaultEasyportParams()
+	p.Packets = 3000
+	tr, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := trace.Analyze(tr)
+	h := memhier.EmbeddedSoC()
+	space, err := SuggestSpace("auto", prof, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := &Runner{Hierarchy: h, Trace: tr}
+	results, err := runner.Explore(space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feasible := Feasible(results)
+	front, _, err := ParetoSet(feasible, []string{profile.ObjAccesses, profile.ObjFootprint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(front) < 3 {
+		t.Fatalf("front size %d", len(front))
+	}
+	// The suggested space must contain configurations that clearly beat
+	// the no-pool baseline on accesses.
+	accRange, err := Range(feasible, profile.ObjAccesses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accRange.Factor < 2 {
+		t.Fatalf("suggested space accesses factor %.2f — pools not helping", accRange.Factor)
+	}
+	best := results[accRange.BestIndex]
+	if best.Labels[0] == "none" {
+		t.Fatalf("access-optimal config has no pools: %v", best.Labels)
+	}
+}
+
+func TestSuggestSpaceSmallScratchpad(t *testing.T) {
+	// A 1 KB scratchpad cannot host a useful pool: no placement option.
+	h, err := memhier.New(
+		memhier.Layer{Name: "tiny", Capacity: 1024, ReadEnergy: 0.3, WriteEnergy: 0.3, ReadCycles: 1, WriteCycles: 1},
+		memhier.Layer{Name: "dram", ReadEnergy: 8, WriteEnergy: 8, ReadCycles: 16, WriteCycles: 16},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space, err := SuggestSpace("auto", easyportProfile(t), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opt := range space.Axes[0].Options {
+		if strings.Contains(opt.Label, "@tiny") {
+			t.Fatalf("placement on 1KB scratchpad suggested: %s", opt.Label)
+		}
+	}
+}
+
+func TestSuggestSpaceErrors(t *testing.T) {
+	h := memhier.EmbeddedSoC()
+	if _, err := SuggestSpace("x", nil, h); err == nil {
+		t.Fatal("nil profile accepted")
+	}
+	empty := trace.Analyze(&trace.Trace{})
+	if _, err := SuggestSpace("x", empty, h); err == nil {
+		t.Fatal("empty profile accepted")
+	}
+}
+
+func TestSuggestChunkBounds(t *testing.T) {
+	small := &trace.Profile{PeakLiveBytes: 1000}
+	if got := suggestChunk(small); got != 4*1024 {
+		t.Fatalf("small chunk %d", got)
+	}
+	huge := &trace.Profile{PeakLiveBytes: 100 << 20}
+	if got := suggestChunk(huge); got != 64*1024 {
+		t.Fatalf("huge chunk %d", got)
+	}
+	mid := &trace.Profile{PeakLiveBytes: 300 * 1024}
+	got := suggestChunk(mid)
+	if got < 16*1024 || got > 32*1024 || got&(got-1) != 0 {
+		t.Fatalf("mid chunk %d", got)
+	}
+}

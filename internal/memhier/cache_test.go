@@ -1,0 +1,142 @@
+package memhier
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewCacheValidation(t *testing.T) {
+	if _, err := NewCache(0, 4, 1); err == nil {
+		t.Fatal("zero size accepted")
+	}
+	if _, err := NewCache(64, 0, 1); err == nil {
+		t.Fatal("zero line accepted")
+	}
+	if _, err := NewCache(64, 4, 0); err == nil {
+		t.Fatal("zero ways accepted")
+	}
+	if _, err := NewCache(64, 3, 1); err == nil {
+		t.Fatal("non-pow2 line accepted")
+	}
+	if _, err := NewCache(12, 4, 2); err == nil {
+		t.Fatal("indivisible sets accepted")
+	}
+	if _, err := NewCache(64, 4, 2); err != nil {
+		t.Fatalf("valid cache rejected: %v", err)
+	}
+}
+
+func TestCacheColdMissThenHit(t *testing.T) {
+	c, _ := NewCache(64, 4, 2)
+	r := c.Access(10, false)
+	if r.Hit || r.BackingReads != 4 || r.BackingWrite != 0 {
+		t.Fatalf("cold access: %+v", r)
+	}
+	// Same line (words 8..11).
+	r = c.Access(11, false)
+	if !r.Hit || r.BackingReads != 0 {
+		t.Fatalf("second access: %+v", r)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestCacheWritebackOnDirtyEviction(t *testing.T) {
+	// Direct-mapped, 2 sets of 4-word lines: addresses that share
+	// line%2 collide.
+	c, _ := NewCache(8, 4, 1)
+	c.Access(0, true) // line 0 -> set 0, dirty
+	r := c.Access(8, false)
+	// line 2 -> set 0: evicts dirty line 0.
+	if r.Hit {
+		t.Fatal("expected miss")
+	}
+	if r.BackingWrite != 4 {
+		t.Fatalf("expected 4-word writeback, got %+v", r)
+	}
+	s := c.Stats()
+	if s.Evictions != 1 || s.Writebacks != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestCacheCleanEvictionNoWriteback(t *testing.T) {
+	c, _ := NewCache(8, 4, 1)
+	c.Access(0, false)
+	r := c.Access(8, false)
+	if r.BackingWrite != 0 {
+		t.Fatalf("clean eviction wrote back: %+v", r)
+	}
+}
+
+func TestCacheLRU(t *testing.T) {
+	// One set, 2 ways, 4-word lines.
+	c, _ := NewCache(8, 4, 2)
+	c.Access(0, false)  // line 0 -> way A
+	c.Access(32, false) // line 8 -> way B (set 0 since sets=1)
+	c.Access(0, false)  // touch line 0: line 8 is now LRU
+	c.Access(64, false) // line 16: must evict line 8
+	if r := c.Access(0, false); !r.Hit {
+		t.Fatal("LRU evicted the recently used line")
+	}
+	if r := c.Access(32, false); r.Hit {
+		t.Fatal("LRU kept the least recently used line")
+	}
+}
+
+func TestCacheFlush(t *testing.T) {
+	c, _ := NewCache(64, 4, 2)
+	c.Access(0, true)
+	c.Access(16, false)
+	words := c.Flush()
+	if words != 4 {
+		t.Fatalf("flush wrote %d words, want 4", words)
+	}
+	if r := c.Access(0, false); r.Hit {
+		t.Fatal("access hit after flush")
+	}
+	if c.Flush() != 0 {
+		t.Fatal("second flush wrote data")
+	}
+}
+
+func TestCacheHitRate(t *testing.T) {
+	c, _ := NewCache(64, 4, 2)
+	if c.HitRate() != 0 {
+		t.Fatal("hit rate before accesses")
+	}
+	c.Access(0, false)
+	c.Access(1, false)
+	c.Access(2, false)
+	c.Access(3, false)
+	if hr := c.HitRate(); hr != 0.75 {
+		t.Fatalf("hit rate %v, want 0.75", hr)
+	}
+}
+
+func TestCachePropertyRepeatedAccessAlwaysHits(t *testing.T) {
+	c, _ := NewCache(1024, 8, 4)
+	if err := quick.Check(func(addr uint32) bool {
+		a := uint64(addr)
+		c.Access(a, false)
+		return c.Access(a, false).Hit
+	}, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCachePropertyConservation(t *testing.T) {
+	// hits + misses == total accesses.
+	c, _ := NewCache(256, 4, 2)
+	n := 0
+	if err := quick.Check(func(addr uint16, w bool) bool {
+		c.Access(uint64(addr), w)
+		n++
+		s := c.Stats()
+		return s.Hits+s.Misses == uint64(n)
+	}, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,47 @@
+package memhier
+
+import "math"
+
+// First-order energy/latency estimators for building custom layers, in
+// the spirit of the CACTI-style models the paper's methodology relies on:
+// per-access energy and latency of an on-chip SRAM grow roughly with the
+// square root of its capacity (wordline/bitline length), while off-chip
+// DRAM cost is dominated by the interface and is nearly capacity-flat.
+// Constants are anchored to the EmbeddedSoC preset values (64 KB
+// scratchpad: 0.31 nJ / 1 cycle) — representative 90-130 nm era figures
+// consistent with the paper's platform, not a process-exact model.
+
+// sramAnchorBytes is the capacity the anchor constants refer to.
+const sramAnchorBytes = 64 * 1024
+
+// EstimateSRAM returns a Layer modelling an on-chip SRAM/scratchpad of
+// the given capacity. Capacity must be positive.
+func EstimateSRAM(name string, capacityBytes int64) Layer {
+	if capacityBytes <= 0 {
+		capacityBytes = sramAnchorBytes
+	}
+	scale := math.Sqrt(float64(capacityBytes) / float64(sramAnchorBytes))
+	readCycles := int64(math.Max(1, math.Round(scale)))
+	return Layer{
+		Name:         name,
+		Capacity:     capacityBytes,
+		ReadEnergy:   0.31 * scale,
+		WriteEnergy:  0.35 * scale,
+		ReadCycles:   readCycles,
+		WriteCycles:  readCycles,
+		LeakagePower: 0.0002, // per KB, so total leakage already scales
+	}
+}
+
+// EstimateDRAM returns a Layer modelling an external SDRAM of the given
+// capacity (0 = unbounded). Access cost is capacity-independent.
+func EstimateDRAM(name string, capacityBytes int64) Layer {
+	return Layer{
+		Name:        name,
+		Capacity:    capacityBytes,
+		ReadEnergy:  7.9,
+		WriteEnergy: 8.4,
+		ReadCycles:  16,
+		WriteCycles: 18,
+	}
+}

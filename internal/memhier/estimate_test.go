@@ -1,0 +1,93 @@
+package memhier
+
+import "testing"
+
+func TestEstimateSRAMAnchor(t *testing.T) {
+	l := EstimateSRAM("sp", 64*1024)
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// At the anchor capacity the estimate must match the preset.
+	preset := EmbeddedSoC().Layer(0)
+	if l.ReadEnergy != preset.ReadEnergy || l.ReadCycles != preset.ReadCycles {
+		t.Fatalf("anchor mismatch: %+v vs %+v", l, preset)
+	}
+}
+
+func TestEstimateSRAMScalesWithCapacity(t *testing.T) {
+	small := EstimateSRAM("s", 16*1024)
+	large := EstimateSRAM("l", 1024*1024)
+	if small.ReadEnergy >= large.ReadEnergy {
+		t.Fatalf("energy not increasing: %v vs %v", small.ReadEnergy, large.ReadEnergy)
+	}
+	if small.ReadCycles > large.ReadCycles {
+		t.Fatalf("latency decreasing: %v vs %v", small.ReadCycles, large.ReadCycles)
+	}
+	// sqrt scaling: 64x capacity -> 8x energy.
+	ratio := large.ReadEnergy / small.ReadEnergy
+	if ratio < 7 || ratio > 9 {
+		t.Fatalf("scaling ratio %v, want ~8", ratio)
+	}
+	if small.ReadCycles < 1 {
+		t.Fatal("latency below one cycle")
+	}
+}
+
+func TestEstimateSRAMBelowDRAM(t *testing.T) {
+	// Any plausible on-chip SRAM must stay cheaper than DRAM per access.
+	for _, cap := range []int64{4 * 1024, 64 * 1024, 512 * 1024} {
+		s := EstimateSRAM("s", cap)
+		d := EstimateDRAM("d", 0)
+		if s.ReadEnergy >= d.ReadEnergy {
+			t.Fatalf("%dKB SRAM energy %v >= DRAM %v", cap/1024, s.ReadEnergy, d.ReadEnergy)
+		}
+		if s.ReadCycles >= d.ReadCycles {
+			t.Fatalf("%dKB SRAM latency %v >= DRAM %v", cap/1024, s.ReadCycles, d.ReadCycles)
+		}
+	}
+}
+
+func TestEstimateSRAMZeroCapacity(t *testing.T) {
+	l := EstimateSRAM("s", 0)
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Capacity != sramAnchorBytes {
+		t.Fatalf("default capacity %d", l.Capacity)
+	}
+}
+
+func TestEstimateDRAM(t *testing.T) {
+	d := EstimateDRAM("d", 4*1024*1024)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Capacity != 4*1024*1024 {
+		t.Fatalf("capacity %d", d.Capacity)
+	}
+	unbounded := EstimateDRAM("u", 0)
+	if unbounded.Bounded() {
+		t.Fatal("zero capacity not unbounded")
+	}
+	// Capacity does not change access cost.
+	if d.ReadEnergy != unbounded.ReadEnergy {
+		t.Fatal("DRAM energy depends on capacity")
+	}
+}
+
+func TestEstimatedHierarchyWorks(t *testing.T) {
+	h, err := New(
+		EstimateSRAM("tcm", 8*1024),
+		EstimateSRAM("sram", 256*1024),
+		EstimateDRAM("dram", 0),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cost must be monotone across the constructed hierarchy.
+	for i := 1; i < h.NumLayers(); i++ {
+		if h.Layer(LayerID(i)).ReadEnergy <= h.Layer(LayerID(i-1)).ReadEnergy {
+			t.Fatalf("energy not monotone at layer %d", i)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package memhier
+
+import "testing"
+
+func TestNewRowBufferValidation(t *testing.T) {
+	if _, err := NewRowBuffer(0, 4); err == nil {
+		t.Fatal("zero row accepted")
+	}
+	if _, err := NewRowBuffer(100, 4); err == nil {
+		t.Fatal("non-pow2 row accepted")
+	}
+	if _, err := NewRowBuffer(128, 0); err == nil {
+		t.Fatal("zero banks accepted")
+	}
+	if _, err := NewRowBuffer(128, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowBufferSequentialHits(t *testing.T) {
+	rb, _ := NewRowBuffer(128, 4)
+	// Sequential sweep: one miss per row, 127 hits.
+	for addr := uint64(0); addr < 512; addr++ {
+		rb.Access(addr)
+	}
+	hits, misses := rb.Stats()
+	if misses != 4 {
+		t.Fatalf("misses %d, want 4 (one per row)", misses)
+	}
+	if hits != 508 {
+		t.Fatalf("hits %d", hits)
+	}
+	if hr := rb.HitRate(); hr < 0.99 {
+		t.Fatalf("hit rate %v", hr)
+	}
+}
+
+func TestRowBufferStridedMisses(t *testing.T) {
+	rb, _ := NewRowBuffer(128, 2)
+	// Stride of 2 rows with 2 banks: every access maps to the same bank
+	// but alternating rows... row = addr/128; bank = row % 2. Stride 256
+	// words = 2 rows => same bank parity, different rows => all miss.
+	for i := uint64(0); i < 100; i++ {
+		rb.Access(i * 256 * 2)
+	}
+	if hr := rb.HitRate(); hr != 0 {
+		t.Fatalf("strided hit rate %v, want 0", hr)
+	}
+}
+
+func TestRowBufferBanksRetainRows(t *testing.T) {
+	rb, _ := NewRowBuffer(128, 2)
+	rb.Access(0)       // row 0, bank 0: miss
+	rb.Access(128)     // row 1, bank 1: miss
+	if !rb.Access(1) { // row 0 still open in bank 0
+		t.Fatal("bank 0 lost its row")
+	}
+	if !rb.Access(129) { // row 1 still open in bank 1
+		t.Fatal("bank 1 lost its row")
+	}
+}
+
+func TestRowBufferEmptyHitRate(t *testing.T) {
+	rb, _ := NewRowBuffer(128, 1)
+	if rb.HitRate() != 0 {
+		t.Fatal("hit rate before any access")
+	}
+}

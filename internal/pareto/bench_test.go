@@ -1,0 +1,52 @@
+package pareto
+
+import (
+	"fmt"
+	"testing"
+
+	"dmexplore/internal/stats"
+)
+
+func randomPoints(n, dim int, seed uint64) []Point {
+	rng := stats.NewRNG(seed)
+	pts := make([]Point, n)
+	for i := range pts {
+		vals := make([]float64, dim)
+		for d := range vals {
+			vals[d] = rng.Float64() * 1e6
+		}
+		pts[i] = Point{Tag: fmt.Sprintf("p%d", i), Values: vals}
+	}
+	return pts
+}
+
+func BenchmarkFront2D(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			pts := randomPoints(n, 2, 1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Front(pts)
+			}
+		})
+	}
+}
+
+func BenchmarkFront3D(b *testing.B) {
+	pts := randomPoints(1000, 3, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Front(pts)
+	}
+}
+
+func BenchmarkHypervolume2D(b *testing.B) {
+	pts := randomPoints(1000, 2, 3)
+	ref := [2]float64{1e6, 1e6}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Hypervolume2D(pts, ref)
+	}
+}

@@ -1,0 +1,40 @@
+package pareto_test
+
+import (
+	"fmt"
+
+	"dmexplore/internal/pareto"
+)
+
+func ExampleFront() {
+	points := []pareto.Point{
+		{Tag: "fast-but-fat", Values: []float64{10, 900}},
+		{Tag: "balanced", Values: []float64{40, 400}},
+		{Tag: "dominated", Values: []float64{50, 500}},
+		{Tag: "slim-but-slow", Values: []float64{90, 100}},
+	}
+	for _, p := range pareto.Front(points) {
+		fmt.Println(p.Tag)
+	}
+	// Output:
+	// fast-but-fat
+	// balanced
+	// slim-but-slow
+}
+
+func ExampleDominates() {
+	a := pareto.Point{Tag: "a", Values: []float64{1, 2}}
+	b := pareto.Point{Tag: "b", Values: []float64{2, 2}}
+	fmt.Println(pareto.Dominates(a, b), pareto.Dominates(b, a))
+	// Output: true false
+}
+
+func ExampleKnee() {
+	front := []pareto.Point{
+		{Tag: "extreme-x", Values: []float64{0, 100}},
+		{Tag: "knee", Values: []float64{15, 20}},
+		{Tag: "extreme-y", Values: []float64{100, 0}},
+	}
+	fmt.Println(front[pareto.Knee(front)].Tag)
+	// Output: knee
+}

@@ -1,0 +1,209 @@
+// Package pareto implements the multi-objective machinery of the
+// exploration tool: dominance tests, Pareto-front extraction over any
+// number of minimization objectives, and front quality indicators
+// (2-D hypervolume, knee point). The tool's final step — reducing a full
+// configuration sweep to the Pareto-optimal set for the designer — lives
+// here.
+package pareto
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Point is one candidate in objective space. All objectives are
+// minimized. Tag carries the candidate's identity (configuration index or
+// ID) through the reduction.
+type Point struct {
+	Tag    string
+	Values []float64
+}
+
+// Dominates reports whether a dominates b: a is no worse in every
+// objective and strictly better in at least one. Points of differing
+// dimensionality never dominate each other.
+func Dominates(a, b Point) bool {
+	if len(a.Values) != len(b.Values) || len(a.Values) == 0 {
+		return false
+	}
+	strict := false
+	for i := range a.Values {
+		if a.Values[i] > b.Values[i] {
+			return false
+		}
+		if a.Values[i] < b.Values[i] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// Front extracts the Pareto-optimal subset of points. For two objectives
+// it uses an O(n log n) sweep; otherwise the general O(n²) filter.
+// Duplicate objective vectors are all kept (they are mutually
+// non-dominating); order within the front follows ascending first
+// objective, ties broken by the remaining objectives then Tag, so output
+// is deterministic.
+func Front(points []Point) []Point {
+	if len(points) <= 1 {
+		out := make([]Point, len(points))
+		copy(out, points)
+		return out
+	}
+	dim := len(points[0].Values)
+	for _, p := range points {
+		if len(p.Values) != dim {
+			panic(fmt.Sprintf("pareto: mixed dimensionality: %d vs %d", len(p.Values), dim))
+		}
+	}
+	sorted := make([]Point, len(points))
+	copy(sorted, points)
+	sort.Slice(sorted, func(i, j int) bool { return less(sorted[i], sorted[j]) })
+
+	if dim == 2 {
+		return front2D(sorted)
+	}
+	return frontND(sorted)
+}
+
+// less orders points lexicographically by objectives then Tag.
+func less(a, b Point) bool {
+	for i := range a.Values {
+		if a.Values[i] != b.Values[i] {
+			return a.Values[i] < b.Values[i]
+		}
+	}
+	return a.Tag < b.Tag
+}
+
+// front2D sweeps points sorted by (x, y): a point is on the front iff its
+// y strictly improves on the best y seen so far (equal vectors kept).
+func front2D(sorted []Point) []Point {
+	var out []Point
+	bestY := math.Inf(1)
+	for _, p := range sorted {
+		y := p.Values[1]
+		switch {
+		case y < bestY:
+			out = append(out, p)
+			bestY = y
+		case y == bestY && len(out) > 0 && sameValues(out[len(out)-1], p):
+			// Exact duplicate of the last front point: keep it.
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func sameValues(a, b Point) bool {
+	for i := range a.Values {
+		if a.Values[i] != b.Values[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// frontND is the general quadratic filter.
+func frontND(sorted []Point) []Point {
+	var out []Point
+	for i, p := range sorted {
+		dominated := false
+		for j, q := range sorted {
+			if i == j {
+				continue
+			}
+			if Dominates(q, p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Normalize rescales each objective of the points to [0, 1] over the
+// point set (degenerate objectives — constant across points — map to 0).
+// It returns fresh points; inputs are not modified.
+func Normalize(points []Point) []Point {
+	if len(points) == 0 {
+		return nil
+	}
+	dim := len(points[0].Values)
+	lo := make([]float64, dim)
+	hi := make([]float64, dim)
+	for d := 0; d < dim; d++ {
+		lo[d], hi[d] = math.Inf(1), math.Inf(-1)
+	}
+	for _, p := range points {
+		for d, v := range p.Values {
+			if v < lo[d] {
+				lo[d] = v
+			}
+			if v > hi[d] {
+				hi[d] = v
+			}
+		}
+	}
+	out := make([]Point, len(points))
+	for i, p := range points {
+		vals := make([]float64, dim)
+		for d, v := range p.Values {
+			if hi[d] > lo[d] {
+				vals[d] = (v - lo[d]) / (hi[d] - lo[d])
+			}
+		}
+		out[i] = Point{Tag: p.Tag, Values: vals}
+	}
+	return out
+}
+
+// Hypervolume2D returns the area dominated by the front between the
+// origin-ward envelope and the reference point (both objectives
+// minimized; ref must be dominated by every front point for a meaningful
+// result). Non-front points are filtered first.
+func Hypervolume2D(points []Point, ref [2]float64) float64 {
+	front := Front(points)
+	if len(front) == 0 {
+		return 0
+	}
+	// front is sorted by ascending x, descending y.
+	hv := 0.0
+	prevY := ref[1]
+	for _, p := range front {
+		x, y := p.Values[0], p.Values[1]
+		if x >= ref[0] || y >= prevY {
+			continue
+		}
+		hv += (ref[0] - x) * (prevY - y)
+		prevY = y
+	}
+	return hv
+}
+
+// Knee returns the front point closest (Euclidean, after normalization)
+// to the ideal corner — the conventional "balanced" pick offered to the
+// designer. It returns the index into the supplied front slice, or -1
+// for an empty front.
+func Knee(front []Point) int {
+	if len(front) == 0 {
+		return -1
+	}
+	norm := Normalize(front)
+	best, bestDist := -1, math.Inf(1)
+	for i, p := range norm {
+		var d float64
+		for _, v := range p.Values {
+			d += v * v
+		}
+		if d < bestDist {
+			bestDist = d
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,38 @@
+package profile
+
+import (
+	"testing"
+
+	"dmexplore/internal/alloc"
+	"dmexplore/internal/memhier"
+	"dmexplore/internal/workload"
+)
+
+// BenchmarkRun measures simulation throughput: trace events replayed per
+// second through a full configuration — the quantity that bounds how many
+// configurations per minute an exploration covers.
+func BenchmarkRun(b *testing.B) {
+	p := workload.DefaultEasyportParams()
+	p.Packets = 3000
+	tr, err := p.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := memhier.EmbeddedSoC()
+	for _, cfg := range []alloc.Config{
+		alloc.KingsleyConfig(memhier.LayerDRAM),
+		alloc.LeaConfig(memhier.LayerDRAM),
+		alloc.SimpleFirstFitConfig(memhier.LayerDRAM),
+	} {
+		b.Run(cfg.Label, func(b *testing.B) {
+			b.SetBytes(int64(tr.Len())) // "bytes" = events replayed
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(tr, cfg, h, Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,266 @@
+// Package profile runs an allocation trace against one allocator
+// configuration on a memory hierarchy and collects the paper's four
+// metrics — memory accesses, memory footprint, energy and execution time —
+// broken down per hierarchy layer. It also implements the raw profile-log
+// emitter and the fast streaming parser (the paper stresses parsing
+// gigabyte logs in under 20 seconds).
+package profile
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"dmexplore/internal/alloc"
+	"dmexplore/internal/memhier"
+	"dmexplore/internal/simheap"
+	"dmexplore/internal/trace"
+)
+
+// LayerMetrics are the per-layer profiling results.
+type LayerMetrics struct {
+	Name      string
+	Reads     uint64
+	Writes    uint64
+	PeakBytes int64
+}
+
+// Accesses returns reads+writes.
+func (m LayerMetrics) Accesses() uint64 { return m.Reads + m.Writes }
+
+// Metrics are the complete profiling results of one configuration run.
+type Metrics struct {
+	ConfigID    string
+	ConfigLabel string
+	Workload    string
+
+	PerLayer []LayerMetrics
+
+	Accesses       uint64  // total word accesses, all layers
+	FootprintBytes int64   // sum of per-layer peak reserved bytes
+	EnergyNJ       float64 // dynamic + leakage energy
+	Cycles         uint64  // execution time in CPU cycles
+
+	Mallocs  uint64
+	Frees    uint64
+	Failures uint64 // allocations the configuration could not satisfy
+
+	// PeakRequestedBytes is the workload's own peak live demand — the
+	// lower bound any allocator's footprint is compared against.
+	PeakRequestedBytes int64
+
+	// Series holds footprint-over-time samples when Options.SampleEvery
+	// is set: one sample per SampleEvery trace events, plus a final one.
+	Series []FootprintSample
+}
+
+// FootprintSample is one point of the footprint-over-time series.
+type FootprintSample struct {
+	Event          int   // trace event index
+	ReservedBytes  int64 // allocator footprint at that point
+	RequestedBytes int64 // application live demand at that point
+}
+
+// Feasible reports whether the configuration served every allocation.
+func (m *Metrics) Feasible() bool { return m.Failures == 0 }
+
+// FootprintOverhead returns footprint / peak requested bytes (>= 1 for
+// feasible runs; 0 when the workload made no requests).
+func (m *Metrics) FootprintOverhead() float64 {
+	if m.PeakRequestedBytes == 0 {
+		return 0
+	}
+	return float64(m.FootprintBytes) / float64(m.PeakRequestedBytes)
+}
+
+// Objective names used across the reporter and Pareto tooling.
+const (
+	ObjAccesses  = "accesses"
+	ObjFootprint = "footprint"
+	ObjEnergy    = "energy"
+	ObjCycles    = "cycles"
+)
+
+// Objective returns the named objective value (smaller is better).
+func (m *Metrics) Objective(name string) (float64, error) {
+	switch name {
+	case ObjAccesses:
+		return float64(m.Accesses), nil
+	case ObjFootprint:
+		return float64(m.FootprintBytes), nil
+	case ObjEnergy:
+		return m.EnergyNJ, nil
+	case ObjCycles:
+		return float64(m.Cycles), nil
+	default:
+		return 0, fmt.Errorf("profile: unknown objective %q", name)
+	}
+}
+
+// Options tune a profiling run.
+type Options struct {
+	// LogWriter, when non-nil, receives the raw access log (every charged
+	// word access) in the format parsed by ParseLog.
+	LogWriter io.Writer
+
+	// Caches attaches a simulated cache in front of the named layers.
+	Caches map[string]CacheSpec
+
+	// SampleEvery enables the footprint-over-time series: one sample per
+	// this many trace events (0 disables sampling).
+	SampleEvery int
+
+	// RowBuffers enables the SDRAM open-page model on the named layers
+	// (ignored where a cache is also attached).
+	RowBuffers map[string]RowBufferSpec
+}
+
+// RowBufferSpec describes an open-page model to attach to a layer.
+type RowBufferSpec struct {
+	RowWords uint64
+	Banks    int
+}
+
+// CacheSpec describes a cache to attach to a layer.
+type CacheSpec struct {
+	SizeWords uint64
+	LineWords uint64
+	Ways      int
+}
+
+// Run profiles cfg against tr on hierarchy h.
+func Run(tr *trace.Trace, cfg alloc.Config, h *memhier.Hierarchy, opts Options) (*Metrics, error) {
+	ctx := simheap.NewContext(h)
+
+	var lw *logWriter
+	if opts.LogWriter != nil {
+		lw = newLogWriter(opts.LogWriter)
+		ctx.SetTracer(lw)
+	}
+	for layerName, spec := range opts.Caches {
+		id, ok := h.ByName(layerName)
+		if !ok {
+			return nil, fmt.Errorf("profile: cache on unknown layer %q", layerName)
+		}
+		c, err := memhier.NewCache(spec.SizeWords, spec.LineWords, spec.Ways)
+		if err != nil {
+			return nil, fmt.Errorf("profile: cache for %s: %w", layerName, err)
+		}
+		if err := ctx.AttachCache(id, c); err != nil {
+			return nil, err
+		}
+	}
+
+	for layerName, spec := range opts.RowBuffers {
+		id, ok := h.ByName(layerName)
+		if !ok {
+			return nil, fmt.Errorf("profile: row buffer on unknown layer %q", layerName)
+		}
+		rb, err := memhier.NewRowBuffer(spec.RowWords, spec.Banks)
+		if err != nil {
+			return nil, fmt.Errorf("profile: row buffer for %s: %w", layerName, err)
+		}
+		if err := ctx.AttachRowBuffer(id, rb); err != nil {
+			return nil, err
+		}
+	}
+
+	a, err := cfg.Build(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("profile: building %s: %w", cfg.ID(), err)
+	}
+
+	m := &Metrics{
+		ConfigID:    cfg.ID(),
+		ConfigLabel: cfg.Label,
+		Workload:    tr.Name,
+	}
+
+	ptrs := make(map[uint64]alloc.Ptr)
+	reqSize := make(map[uint64]int64)
+	var liveRequested, peakRequested int64
+
+	sample := func(i int) {
+		m.Series = append(m.Series, FootprintSample{
+			Event:          i,
+			ReservedBytes:  ctx.TotalReservedBytes(),
+			RequestedBytes: liveRequested,
+		})
+	}
+	for i, e := range tr.Events {
+		if opts.SampleEvery > 0 && i%opts.SampleEvery == 0 {
+			sample(i)
+		}
+		switch e.Kind {
+		case trace.KindAlloc:
+			liveRequested += e.Size
+			reqSize[e.ID] = e.Size
+			if liveRequested > peakRequested {
+				peakRequested = liveRequested
+			}
+			ptr, err := a.Malloc(e.Size)
+			if err != nil {
+				if errors.Is(err, alloc.ErrOutOfMemory) {
+					m.Failures++
+					continue
+				}
+				return nil, fmt.Errorf("profile: event %d: %w", i, err)
+			}
+			m.Mallocs++
+			ptrs[e.ID] = ptr
+		case trace.KindFree:
+			liveRequested -= reqSize[e.ID]
+			delete(reqSize, e.ID)
+			ptr, ok := ptrs[e.ID]
+			if !ok {
+				// The allocation failed; nothing to free.
+				continue
+			}
+			if err := a.Free(ptr); err != nil {
+				return nil, fmt.Errorf("profile: event %d: %w", i, err)
+			}
+			m.Frees++
+			delete(ptrs, e.ID)
+		case trace.KindAccess:
+			ptr, ok := ptrs[e.ID]
+			if !ok {
+				continue
+			}
+			if e.Reads > 0 {
+				ctx.Read(ptr.Layer, ptr.Addr, e.Reads)
+			}
+			if e.Writes > 0 {
+				ctx.Write(ptr.Layer, ptr.Addr, e.Writes)
+			}
+		case trace.KindTick:
+			ctx.Compute(e.Cycles)
+		default:
+			return nil, fmt.Errorf("profile: event %d: unknown kind %d", i, e.Kind)
+		}
+	}
+
+	if opts.SampleEvery > 0 {
+		sample(len(tr.Events))
+	}
+	if lw != nil {
+		if err := lw.Flush(); err != nil {
+			return nil, fmt.Errorf("profile: flushing log: %w", err)
+		}
+	}
+
+	for i := 0; i < h.NumLayers(); i++ {
+		c := ctx.Counters(memhier.LayerID(i))
+		m.PerLayer = append(m.PerLayer, LayerMetrics{
+			Name:      h.Layer(memhier.LayerID(i)).Name,
+			Reads:     c.Reads,
+			Writes:    c.Writes,
+			PeakBytes: c.PeakBytes,
+		})
+	}
+	m.Accesses = ctx.TotalAccesses()
+	m.FootprintBytes = ctx.TotalPeakBytes()
+	m.EnergyNJ = ctx.Energy()
+	m.Cycles = ctx.Cycles()
+	m.PeakRequestedBytes = peakRequested
+	return m, nil
+}

@@ -1,0 +1,162 @@
+package report
+
+import (
+	"fmt"
+	"html/template"
+	"io"
+	"math"
+	"strings"
+
+	"dmexplore/internal/core"
+)
+
+// WriteHTML renders a self-contained HTML exploration report — the
+// open-source stand-in for the paper's GUI: an SVG scatter of every
+// feasible configuration in objective space with the Pareto front
+// highlighted, followed by the front's configuration table.
+func WriteHTML(w io.Writer, title string, axisNames []string, feasible, front []core.Result, objX, objY string) error {
+	type pt struct {
+		X, Y   float64
+		Index  int
+		Labels string
+		Front  bool
+	}
+	var (
+		pts        []pt
+		minX, maxX = math.Inf(1), math.Inf(-1)
+		minY, maxY = math.Inf(1), math.Inf(-1)
+	)
+	onFront := make(map[int]bool, len(front))
+	for _, r := range front {
+		onFront[r.Index] = true
+	}
+	for _, r := range feasible {
+		if r.Metrics == nil {
+			continue
+		}
+		x, err := r.Metrics.Objective(objX)
+		if err != nil {
+			return err
+		}
+		y, err := r.Metrics.Objective(objY)
+		if err != nil {
+			return err
+		}
+		pts = append(pts, pt{
+			X: x, Y: y, Index: r.Index,
+			Labels: strings.Join(r.Labels, ","),
+			Front:  onFront[r.Index],
+		})
+		minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+		minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+	}
+	if len(pts) == 0 {
+		return fmt.Errorf("report: no feasible points to plot")
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	// Plot geometry (log-log renders the wide ranges best; guard zeros).
+	const width, height, margin = 720.0, 480.0, 60.0
+	sx := func(v float64) float64 {
+		return margin + (width-2*margin)*normLog(v, minX, maxX)
+	}
+	sy := func(v float64) float64 {
+		return height - margin - (height-2*margin)*normLog(v, minY, maxY)
+	}
+
+	type svgPoint struct {
+		CX, CY  float64
+		Index   int
+		Tooltip string
+		Front   bool
+	}
+	var svgPts []svgPoint
+	var frontPath strings.Builder
+	for _, p := range pts {
+		svgPts = append(svgPts, svgPoint{
+			CX: sx(p.X), CY: sy(p.Y), Index: p.Index,
+			Tooltip: fmt.Sprintf("#%d [%s] %s=%.4g %s=%.4g", p.Index, p.Labels, objX, p.X, objY, p.Y),
+			Front:   p.Front,
+		})
+	}
+	for i, r := range front {
+		x, _ := r.Metrics.Objective(objX)
+		y, _ := r.Metrics.Objective(objY)
+		cmd := "L"
+		if i == 0 {
+			cmd = "M"
+		}
+		fmt.Fprintf(&frontPath, "%s%.1f %.1f ", cmd, sx(x), sy(y))
+	}
+
+	type frontRow struct {
+		Index  int
+		Labels []string
+		X, Y   string
+	}
+	var rows []frontRow
+	for _, r := range front {
+		x, _ := r.Metrics.Objective(objX)
+		y, _ := r.Metrics.Objective(objY)
+		rows = append(rows, frontRow{
+			Index: r.Index, Labels: r.Labels,
+			X: fmt.Sprintf("%.4g", x), Y: fmt.Sprintf("%.4g", y),
+		})
+	}
+
+	return htmlTmpl.Execute(w, map[string]any{
+		"Title": title, "ObjX": objX, "ObjY": objY,
+		"Width": width, "Height": height,
+		"Points": svgPts, "FrontPath": frontPath.String(),
+		"AxisNames": axisNames, "Rows": rows,
+		"Feasible": len(pts), "FrontSize": len(front),
+	})
+}
+
+// normLog maps v into [0,1] on a log scale over [lo,hi] (linear when the
+// range includes non-positive values).
+func normLog(v, lo, hi float64) float64 {
+	if lo > 0 && hi > lo {
+		return (math.Log(v) - math.Log(lo)) / (math.Log(hi) - math.Log(lo))
+	}
+	return (v - lo) / (hi - lo)
+}
+
+var htmlTmpl = template.Must(template.New("report").Parse(`<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>{{.Title}}</title>
+<style>
+body { font-family: sans-serif; margin: 2em; color: #222; }
+svg { border: 1px solid #ccc; background: #fcfcfc; }
+table { border-collapse: collapse; margin-top: 1em; }
+th, td { border: 1px solid #ccc; padding: 4px 8px; font-size: 13px; }
+th { background: #eee; }
+.axis-label { font-size: 13px; fill: #555; }
+</style></head><body>
+<h1>{{.Title}}</h1>
+<p>{{.Feasible}} feasible configurations, {{.FrontSize}} Pareto-optimal
+({{.ObjX}} vs {{.ObjY}}, log-log).</p>
+<svg width="{{.Width}}" height="{{.Height}}" xmlns="http://www.w3.org/2000/svg">
+  <path d="{{.FrontPath}}" fill="none" stroke="#cc0000" stroke-width="1.5"/>
+  {{- range .Points}}
+  <circle cx="{{printf "%.1f" .CX}}" cy="{{printf "%.1f" .CY}}" r="{{if .Front}}4{{else}}2.5{{end}}"
+    fill="{{if .Front}}#cc0000{{else}}#9999bb{{end}}" fill-opacity="{{if .Front}}1{{else}}0.55{{end}}">
+    <title>{{.Tooltip}}</title>
+  </circle>
+  {{- end}}
+  <text x="{{.Width}}" y="{{.Height}}" dx="-70" dy="-12" class="axis-label">{{.ObjX}} →</text>
+  <text x="14" y="40" class="axis-label">{{.ObjY}} ↑</text>
+</svg>
+<h2>Pareto-optimal configurations</h2>
+<table>
+<tr><th>#</th>{{range .AxisNames}}<th>{{.}}</th>{{end}}<th>{{.ObjX}}</th><th>{{.ObjY}}</th></tr>
+{{- range .Rows}}
+<tr><td>{{.Index}}</td>{{range .Labels}}<td>{{.}}</td>{{end}}<td>{{.X}}</td><td>{{.Y}}</td></tr>
+{{- end}}
+</table>
+</body></html>
+`))

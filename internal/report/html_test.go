@@ -1,0 +1,78 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dmexplore/internal/profile"
+)
+
+func TestWriteHTML(t *testing.T) {
+	all := sampleResults()
+	front := all[:1]
+	var buf bytes.Buffer
+	err := WriteHTML(&buf, "Test Report", []string{"pools", "classes"},
+		all, front, profile.ObjAccesses, profile.ObjFootprint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"<!DOCTYPE html>", "Test Report",
+		"2 feasible configurations, 1 Pareto-optimal",
+		"<svg", "<circle", "<path",
+		"<th>pools</th>", "<th>classes</th>",
+		"accesses", "footprint",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("html missing %q", want)
+		}
+	}
+	// The front config's labels appear in the table.
+	if !strings.Contains(out, "<td>none</td>") {
+		t.Fatal("front row labels missing")
+	}
+}
+
+func TestWriteHTMLEscapes(t *testing.T) {
+	all := sampleResults()
+	all[0].Labels = []string{"<script>alert(1)</script>", "x"}
+	var buf bytes.Buffer
+	err := WriteHTML(&buf, "esc", []string{"a", "b"}, all, all[:1],
+		profile.ObjAccesses, profile.ObjFootprint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "<script>alert") {
+		t.Fatal("labels not escaped")
+	}
+}
+
+func TestWriteHTMLErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHTML(&buf, "x", nil, nil, nil, "accesses", "footprint"); err == nil {
+		t.Fatal("empty result set accepted")
+	}
+	all := sampleResults()
+	if err := WriteHTML(&buf, "x", nil, all, nil, "nope", "footprint"); err == nil {
+		t.Fatal("unknown objective accepted")
+	}
+}
+
+func TestNormLog(t *testing.T) {
+	if normLog(1, 1, 100) != 0 {
+		t.Fatal("lo not 0")
+	}
+	if normLog(100, 1, 100) != 1 {
+		t.Fatal("hi not 1")
+	}
+	mid := normLog(10, 1, 100)
+	if mid < 0.49 || mid > 0.51 {
+		t.Fatalf("log midpoint %v", mid)
+	}
+	// Non-positive range degrades to linear.
+	if normLog(0, -10, 10) != 0.5 {
+		t.Fatalf("linear fallback %v", normLog(0, -10, 10))
+	}
+}

@@ -1,0 +1,39 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"dmexplore/internal/profile"
+)
+
+// WriteSeriesDat emits a footprint-over-time series as a Gnuplot data
+// file: event index, allocator footprint bytes, application demand bytes.
+func WriteSeriesDat(w io.Writer, series []profile.FootprintSample) error {
+	if len(series) == 0 {
+		return fmt.Errorf("report: empty footprint series")
+	}
+	if _, err := fmt.Fprintln(w, "# event reserved_bytes requested_bytes"); err != nil {
+		return err
+	}
+	for _, s := range series {
+		if _, err := fmt.Fprintf(w, "%d %d %d\n", s.Event, s.ReservedBytes, s.RequestedBytes); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSeriesScript emits a .plt rendering a series .dat: allocator
+// footprint vs application demand over the run.
+func WriteSeriesScript(w io.Writer, datPath, title string) error {
+	_, err := fmt.Fprintf(w, `set title %q
+set xlabel "trace event"
+set ylabel "bytes"
+set key top left
+set grid
+plot %q using 1:2 with lines lw 2 lc rgb "#cc0000" title "allocator footprint", \
+     %q using 1:3 with lines lw 1 lc rgb "#555555" title "application demand"
+`, title, datPath, datPath)
+	return err
+}

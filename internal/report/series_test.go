@@ -1,0 +1,40 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dmexplore/internal/profile"
+)
+
+func TestWriteSeriesDat(t *testing.T) {
+	series := []profile.FootprintSample{
+		{Event: 0, ReservedBytes: 100, RequestedBytes: 80},
+		{Event: 200, ReservedBytes: 5000, RequestedBytes: 4000},
+	}
+	var buf bytes.Buffer
+	if err := WriteSeriesDat(&buf, series); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "0 100 80\n") || !strings.Contains(out, "200 5000 4000\n") {
+		t.Fatalf("series dat:\n%s", out)
+	}
+	if err := WriteSeriesDat(&buf, nil); err == nil {
+		t.Fatal("empty series accepted")
+	}
+}
+
+func TestWriteSeriesScript(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSeriesScript(&buf, "fp.dat", "Footprint"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fp.dat", "allocator footprint", "application demand"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("script missing %q", want)
+		}
+	}
+}

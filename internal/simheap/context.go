@@ -1,0 +1,342 @@
+// Package simheap provides the simulated-memory substrate the allocator
+// framework runs on. Go has no manual memory management, so dmexplore does
+// not allocate real memory: allocators operate on a modelled address space
+// and explicitly account every word of metadata and application data they
+// would touch on the target platform. The profiling metrics of the paper
+// (memory accesses, memory footprint, energy, execution time per hierarchy
+// layer) are all derived from the counters this package maintains.
+//
+// A Context binds a memhier.Hierarchy to a set of per-layer counters and a
+// cycle clock. Pools reserve arenas (Regions) from a layer; every metadata
+// or application access is charged to the layer holding the touched
+// address via Read/Write. CPU-only work advances the clock via Compute.
+package simheap
+
+import (
+	"fmt"
+
+	"dmexplore/internal/memhier"
+)
+
+// WordSize is the machine word size of the modelled platform in bytes.
+// The modelled target is a 32-bit embedded core, matching the paper's
+// platforms (ARM-class SoCs).
+const WordSize = 8 // bytes; 64-bit words keep header math simple
+
+// WordBits is the number of bits per word.
+const WordBits = WordSize * 8
+
+// LayerCounters accumulates the per-layer profiling state.
+type LayerCounters struct {
+	Reads  uint64 // word reads charged to this layer
+	Writes uint64 // word writes charged to this layer
+
+	ReservedBytes int64 // bytes currently reserved from the layer
+	PeakBytes     int64 // high-water mark of ReservedBytes
+}
+
+// Accesses returns reads+writes.
+func (c LayerCounters) Accesses() uint64 { return c.Reads + c.Writes }
+
+// Context is a simulation context: the hierarchy, the per-layer counters,
+// and the cycle clock. It is not safe for concurrent use; explorations run
+// one Context per goroutine.
+type Context struct {
+	hier     *memhier.Hierarchy
+	counters []LayerCounters
+	nextBase []uint64 // per-layer bump pointer for region bases
+	cycles   uint64
+
+	// caches, when non-nil, interposes a cache in front of the layer with
+	// the same index; accesses then additionally charge the backing layer
+	// on misses. Entries may be nil (no cache for that layer).
+	caches []*memhier.Cache
+
+	// rowbufs models SDRAM open-page behaviour per layer (nil = flat
+	// cost). Ignored for layers that also have a cache (the cache already
+	// batches traffic into line bursts).
+	rowbufs []*memhier.RowBuffer
+
+	// energyAdj accumulates per-access energy adjustments (row-buffer
+	// hits are cheaper than the layer's flat per-access figure).
+	energyAdj float64
+
+	// trace, when non-nil, receives every charged access (used by the
+	// raw-profile-log emitter).
+	trace AccessTracer
+}
+
+// AccessTracer observes every charged access. Implementations must be
+// cheap: the profiler's log emitter is the only expected user.
+type AccessTracer interface {
+	TraceAccess(layer memhier.LayerID, addr uint64, words uint64, write bool)
+}
+
+// NewContext returns a fresh context over h.
+func NewContext(h *memhier.Hierarchy) *Context {
+	return &Context{
+		hier:     h,
+		counters: make([]LayerCounters, h.NumLayers()),
+		nextBase: make([]uint64, h.NumLayers()),
+		caches:   make([]*memhier.Cache, h.NumLayers()),
+		rowbufs:  make([]*memhier.RowBuffer, h.NumLayers()),
+	}
+}
+
+// Hierarchy returns the hierarchy the context simulates.
+func (ctx *Context) Hierarchy() *memhier.Hierarchy { return ctx.hier }
+
+// SetTracer installs (or clears, with nil) an access tracer.
+func (ctx *Context) SetTracer(t AccessTracer) { ctx.trace = t }
+
+// AttachCache interposes a cache in front of layer id. Accesses to that
+// layer then hit the cache; misses charge the layer itself for the line
+// fill (and write-back). The cache's own access cost is modelled as one
+// cycle and the layer's ReadEnergy/8 per access, a conventional
+// tag+data-array approximation.
+func (ctx *Context) AttachCache(id memhier.LayerID, c *memhier.Cache) error {
+	if !ctx.hier.Valid(id) {
+		return fmt.Errorf("simheap: invalid layer %d", id)
+	}
+	ctx.caches[id] = c
+	return nil
+}
+
+// Cache returns the cache attached to layer id, or nil.
+func (ctx *Context) Cache(id memhier.LayerID) *memhier.Cache { return ctx.caches[id] }
+
+// rowHitCycles is the latency of a row-buffer hit; rowHitEnergyFactor is
+// the fraction of the layer's flat per-access energy a hit costs (the
+// activate/precharge share is skipped).
+const (
+	rowHitCycles       = 2
+	rowHitEnergyFactor = 0.4
+)
+
+// AttachRowBuffer enables the SDRAM open-page model on layer id. It has
+// no effect on accesses that go through a cache attached to the same
+// layer.
+func (ctx *Context) AttachRowBuffer(id memhier.LayerID, rb *memhier.RowBuffer) error {
+	if !ctx.hier.Valid(id) {
+		return fmt.Errorf("simheap: invalid layer %d", id)
+	}
+	ctx.rowbufs[id] = rb
+	return nil
+}
+
+// RowBuffer returns the row-buffer model attached to layer id, or nil.
+func (ctx *Context) RowBuffer(id memhier.LayerID) *memhier.RowBuffer { return ctx.rowbufs[id] }
+
+// Counters returns a snapshot of the counters for layer id.
+func (ctx *Context) Counters(id memhier.LayerID) LayerCounters { return ctx.counters[id] }
+
+// Cycles returns the current simulated cycle count.
+func (ctx *Context) Cycles() uint64 { return ctx.cycles }
+
+// Compute advances the clock by n CPU cycles without touching memory.
+// Allocator search loops use it for their non-memory work.
+func (ctx *Context) Compute(n uint64) { ctx.cycles += n }
+
+// Read charges words word-reads at addr to layer id.
+func (ctx *Context) Read(id memhier.LayerID, addr uint64, words uint64) {
+	ctx.access(id, addr, words, false)
+}
+
+// Write charges words word-writes at addr to layer id.
+func (ctx *Context) Write(id memhier.LayerID, addr uint64, words uint64) {
+	ctx.access(id, addr, words, true)
+}
+
+func (ctx *Context) access(id memhier.LayerID, addr uint64, words uint64, write bool) {
+	if words == 0 {
+		return
+	}
+	layer := ctx.hier.Layer(id)
+	c := &ctx.counters[id]
+	if ctx.trace != nil {
+		ctx.trace.TraceAccess(id, addr, words, write)
+	}
+	if cache := ctx.caches[id]; cache != nil {
+		// Word-by-word through the cache; line fills charge the layer.
+		// Fills and write-backs are burst transfers: the first word pays
+		// the full layer latency, subsequent words stream at one cycle.
+		for i := uint64(0); i < words; i++ {
+			res := cache.Access(addr+i, write)
+			ctx.cycles++ // cache access latency
+			if !res.Hit {
+				c.Reads += res.BackingReads
+				c.Writes += res.BackingWrite
+				if res.BackingReads > 0 {
+					ctx.cycles += uint64(layer.ReadCycles) + (res.BackingReads - 1)
+				}
+				if res.BackingWrite > 0 {
+					ctx.cycles += uint64(layer.WriteCycles) + (res.BackingWrite - 1)
+				}
+			}
+		}
+		return
+	}
+	if rb := ctx.rowbufs[id]; rb != nil {
+		for i := uint64(0); i < words; i++ {
+			flatCycles := uint64(layer.ReadCycles)
+			flatEnergy := layer.ReadEnergy
+			if write {
+				c.Writes++
+				flatCycles = uint64(layer.WriteCycles)
+				flatEnergy = layer.WriteEnergy
+			} else {
+				c.Reads++
+			}
+			if rb.Access(addr + i) {
+				ctx.cycles += rowHitCycles
+				ctx.energyAdj -= (1 - rowHitEnergyFactor) * flatEnergy
+			} else {
+				ctx.cycles += flatCycles
+			}
+		}
+		return
+	}
+	if write {
+		c.Writes += words
+		ctx.cycles += uint64(layer.WriteCycles) * words
+	} else {
+		c.Reads += words
+		ctx.cycles += uint64(layer.ReadCycles) * words
+	}
+}
+
+// Reserve claims size bytes from layer id and returns the region. It
+// fails when the layer is bounded and the reservation would exceed its
+// capacity — the simulated equivalent of a scratchpad overflow.
+func (ctx *Context) Reserve(id memhier.LayerID, size int64) (*Region, error) {
+	if !ctx.hier.Valid(id) {
+		return nil, fmt.Errorf("simheap: invalid layer %d", id)
+	}
+	if size <= 0 {
+		return nil, fmt.Errorf("simheap: non-positive reservation %d", size)
+	}
+	layer := ctx.hier.Layer(id)
+	c := &ctx.counters[id]
+	if layer.Bounded() && c.ReservedBytes+size > layer.Capacity {
+		return nil, &CapacityError{
+			Layer: layer.Name, Requested: size,
+			InUse: c.ReservedBytes, Capacity: layer.Capacity,
+		}
+	}
+	base := ctx.nextBase[id]
+	ctx.nextBase[id] += uint64(size)
+	c.ReservedBytes += size
+	if c.ReservedBytes > c.PeakBytes {
+		c.PeakBytes = c.ReservedBytes
+	}
+	return &Region{ctx: ctx, layer: id, base: base, size: size}, nil
+}
+
+// TotalPeakBytes returns the peak footprint summed over all layers.
+// Note this sums per-layer peaks; the scalar footprint metric the paper
+// reports is the peak of the total, which the profiler tracks separately
+// when needed — for pool-reserved memory the two coincide because pools
+// only grow.
+func (ctx *Context) TotalPeakBytes() int64 {
+	var total int64
+	for i := range ctx.counters {
+		total += ctx.counters[i].PeakBytes
+	}
+	return total
+}
+
+// TotalReservedBytes returns the bytes currently reserved across all
+// layers — the instantaneous footprint the profiler samples for
+// footprint-over-time series.
+func (ctx *Context) TotalReservedBytes() int64 {
+	var total int64
+	for i := range ctx.counters {
+		total += ctx.counters[i].ReservedBytes
+	}
+	return total
+}
+
+// TotalAccesses returns reads+writes summed over all layers.
+func (ctx *Context) TotalAccesses() uint64 {
+	var total uint64
+	for i := range ctx.counters {
+		total += ctx.counters[i].Accesses()
+	}
+	return total
+}
+
+// Energy returns the total memory energy in nanojoules under the
+// hierarchy's cost model: dynamic access energy plus capacity leakage
+// integrated over the run time.
+func (ctx *Context) Energy() float64 {
+	var e float64
+	kilocycles := float64(ctx.cycles) / 1000
+	for i := range ctx.counters {
+		layer := ctx.hier.Layer(memhier.LayerID(i))
+		c := ctx.counters[i]
+		e += float64(c.Reads) * layer.ReadEnergy
+		e += float64(c.Writes) * layer.WriteEnergy
+		if layer.LeakagePower > 0 {
+			peakKB := float64(c.PeakBytes) / 1024
+			e += layer.LeakagePower * peakKB * kilocycles
+		}
+	}
+	return e + ctx.energyAdj
+}
+
+// CapacityError reports a failed reservation on a bounded layer.
+type CapacityError struct {
+	Layer     string
+	Requested int64
+	InUse     int64
+	Capacity  int64
+}
+
+func (e *CapacityError) Error() string {
+	return fmt.Sprintf("simheap: layer %s full: %d requested, %d/%d in use",
+		e.Layer, e.Requested, e.InUse, e.Capacity)
+}
+
+// Region is a contiguous arena reserved from one layer. Pools carve their
+// blocks out of regions; block addresses are region-relative plus base.
+type Region struct {
+	ctx      *Context
+	layer    memhier.LayerID
+	base     uint64
+	size     int64
+	released bool
+}
+
+// Layer returns the layer the region lives in.
+func (r *Region) Layer() memhier.LayerID { return r.layer }
+
+// Base returns the region's base address (within its layer's space).
+func (r *Region) Base() uint64 { return r.base }
+
+// Size returns the region size in bytes.
+func (r *Region) Size() int64 { return r.size }
+
+// End returns the first address past the region.
+func (r *Region) End() uint64 { return r.base + uint64(r.size) }
+
+// Contains reports whether addr falls inside the region.
+func (r *Region) Contains(addr uint64) bool {
+	return addr >= r.base && addr < r.End()
+}
+
+// Read charges words word-reads at addr (absolute) to the region's layer.
+func (r *Region) Read(addr uint64, words uint64) { r.ctx.Read(r.layer, addr, words) }
+
+// Write charges words word-writes at addr (absolute) to the region's layer.
+func (r *Region) Write(addr uint64, words uint64) { r.ctx.Write(r.layer, addr, words) }
+
+// Release returns the region's bytes to the layer accounting. Releasing
+// twice is a programming error and panics, matching the double-free
+// semantics the allocator framework itself enforces for blocks.
+func (r *Region) Release() {
+	if r.released {
+		panic("simheap: region released twice")
+	}
+	r.released = true
+	r.ctx.counters[r.layer].ReservedBytes -= r.size
+}

@@ -1,0 +1,322 @@
+package simheap
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dmexplore/internal/memhier"
+)
+
+func testHier(t *testing.T) *memhier.Hierarchy {
+	t.Helper()
+	h, err := memhier.New(
+		memhier.Layer{Name: "sp", Capacity: 1024, ReadEnergy: 0.5, WriteEnergy: 0.6, ReadCycles: 1, WriteCycles: 1},
+		memhier.Layer{Name: "dram", ReadEnergy: 8, WriteEnergy: 9, ReadCycles: 16, WriteCycles: 18},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestContextAccessCounting(t *testing.T) {
+	ctx := NewContext(testHier(t))
+	ctx.Read(0, 0, 3)
+	ctx.Write(0, 8, 2)
+	ctx.Read(1, 0, 1)
+	ctx.Read(0, 0, 0) // zero words: no-op
+
+	sp := ctx.Counters(0)
+	if sp.Reads != 3 || sp.Writes != 2 {
+		t.Fatalf("sp counters %+v", sp)
+	}
+	dram := ctx.Counters(1)
+	if dram.Reads != 1 || dram.Writes != 0 {
+		t.Fatalf("dram counters %+v", dram)
+	}
+	if ctx.TotalAccesses() != 6 {
+		t.Fatalf("total accesses %d", ctx.TotalAccesses())
+	}
+	// Cycles: 3*1 + 2*1 + 1*16 = 21.
+	if ctx.Cycles() != 21 {
+		t.Fatalf("cycles %d", ctx.Cycles())
+	}
+}
+
+func TestContextCompute(t *testing.T) {
+	ctx := NewContext(testHier(t))
+	ctx.Compute(100)
+	if ctx.Cycles() != 100 {
+		t.Fatalf("cycles %d", ctx.Cycles())
+	}
+}
+
+func TestContextEnergy(t *testing.T) {
+	ctx := NewContext(testHier(t))
+	ctx.Read(1, 0, 10)  // 10 * 8 nJ
+	ctx.Write(1, 0, 10) // 10 * 9 nJ
+	want := 10*8.0 + 10*9.0
+	if got := ctx.Energy(); got != want {
+		t.Fatalf("energy %v want %v", got, want)
+	}
+}
+
+func TestReserveAndFootprint(t *testing.T) {
+	ctx := NewContext(testHier(t))
+	r1, err := ctx.Reserve(0, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := ctx.Reserve(0, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Base() == r2.Base() {
+		t.Fatal("regions overlap")
+	}
+	if r2.Base() != r1.End() {
+		t.Fatalf("regions not contiguous: %d vs %d", r2.Base(), r1.End())
+	}
+	c := ctx.Counters(0)
+	if c.ReservedBytes != 1000 || c.PeakBytes != 1000 {
+		t.Fatalf("footprint %+v", c)
+	}
+
+	// Layer is bounded at 1024: next reservation must fail.
+	_, err = ctx.Reserve(0, 100)
+	var ce *CapacityError
+	if !errors.As(err, &ce) {
+		t.Fatalf("expected CapacityError, got %v", err)
+	}
+	if ce.Layer != "sp" || ce.InUse != 1000 || ce.Capacity != 1024 {
+		t.Fatalf("capacity error %+v", ce)
+	}
+
+	r1.Release()
+	c = ctx.Counters(0)
+	if c.ReservedBytes != 600 {
+		t.Fatalf("reserved after release %d", c.ReservedBytes)
+	}
+	if c.PeakBytes != 1000 {
+		t.Fatalf("peak lost on release: %d", c.PeakBytes)
+	}
+	// Released space can be re-reserved (accounting-wise).
+	if _, err := ctx.Reserve(0, 300); err != nil {
+		t.Fatalf("re-reserve failed: %v", err)
+	}
+}
+
+func TestReserveUnboundedLayer(t *testing.T) {
+	ctx := NewContext(testHier(t))
+	if _, err := ctx.Reserve(1, 1<<40); err != nil {
+		t.Fatalf("unbounded layer refused reservation: %v", err)
+	}
+}
+
+func TestReserveValidation(t *testing.T) {
+	ctx := NewContext(testHier(t))
+	if _, err := ctx.Reserve(5, 10); err == nil {
+		t.Fatal("invalid layer accepted")
+	}
+	if _, err := ctx.Reserve(0, 0); err == nil {
+		t.Fatal("zero-size reservation accepted")
+	}
+	if _, err := ctx.Reserve(0, -5); err == nil {
+		t.Fatal("negative reservation accepted")
+	}
+}
+
+func TestRegionContains(t *testing.T) {
+	ctx := NewContext(testHier(t))
+	r, _ := ctx.Reserve(0, 100)
+	if !r.Contains(r.Base()) || !r.Contains(r.End()-1) {
+		t.Fatal("region excludes own bytes")
+	}
+	if r.Contains(r.End()) {
+		t.Fatal("region contains end")
+	}
+}
+
+func TestRegionDoubleReleasePanics(t *testing.T) {
+	ctx := NewContext(testHier(t))
+	r, _ := ctx.Reserve(0, 10)
+	r.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	r.Release()
+}
+
+func TestRegionAccessChargesOwnLayer(t *testing.T) {
+	ctx := NewContext(testHier(t))
+	r, _ := ctx.Reserve(1, 64)
+	r.Read(r.Base(), 2)
+	r.Write(r.Base()+8, 1)
+	c := ctx.Counters(1)
+	if c.Reads != 2 || c.Writes != 1 {
+		t.Fatalf("dram counters %+v", c)
+	}
+	if ctx.Counters(0).Accesses() != 0 {
+		t.Fatal("scratchpad charged")
+	}
+}
+
+func TestContextWithCache(t *testing.T) {
+	ctx := NewContext(testHier(t))
+	cache, err := memhier.NewCache(64, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.AttachCache(1, cache); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.AttachCache(9, cache); err == nil {
+		t.Fatal("invalid layer accepted")
+	}
+	if ctx.Cache(1) != cache {
+		t.Fatal("cache not attached")
+	}
+
+	// First access misses: the layer is charged a 4-word line fill.
+	ctx.Read(1, 0, 1)
+	c := ctx.Counters(1)
+	if c.Reads != 4 {
+		t.Fatalf("miss charged %d reads, want 4", c.Reads)
+	}
+	// Second access to the same line hits: no extra layer traffic.
+	ctx.Read(1, 1, 1)
+	c = ctx.Counters(1)
+	if c.Reads != 4 {
+		t.Fatalf("hit charged the layer: %d reads", c.Reads)
+	}
+	if cache.HitRate() != 0.5 {
+		t.Fatalf("hit rate %v", cache.HitRate())
+	}
+}
+
+type recordingTracer struct {
+	n     int
+	words uint64
+}
+
+func (r *recordingTracer) TraceAccess(_ memhier.LayerID, _ uint64, words uint64, _ bool) {
+	r.n++
+	r.words += words
+}
+
+func TestContextTracer(t *testing.T) {
+	ctx := NewContext(testHier(t))
+	tr := &recordingTracer{}
+	ctx.SetTracer(tr)
+	ctx.Read(0, 0, 3)
+	ctx.Write(1, 0, 2)
+	if tr.n != 2 || tr.words != 5 {
+		t.Fatalf("tracer saw %d events / %d words", tr.n, tr.words)
+	}
+	ctx.SetTracer(nil)
+	ctx.Read(0, 0, 1)
+	if tr.n != 2 {
+		t.Fatal("tracer not removed")
+	}
+}
+
+func TestPropertyReserveNeverOverlaps(t *testing.T) {
+	ctx := NewContext(testHier(t))
+	var regions []*Region
+	if err := quick.Check(func(sz uint16) bool {
+		size := int64(sz%512) + 1
+		r, err := ctx.Reserve(1, size)
+		if err != nil {
+			return false
+		}
+		for _, prev := range regions {
+			if r.Base() < prev.End() && prev.Base() < r.End() {
+				return false
+			}
+		}
+		regions = append(regions, r)
+		return true
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyPeakMonotone(t *testing.T) {
+	ctx := NewContext(testHier(t))
+	prevPeak := int64(0)
+	if err := quick.Check(func(sz uint16, release bool) bool {
+		size := int64(sz%256) + 1
+		r, err := ctx.Reserve(1, size)
+		if err != nil {
+			return false
+		}
+		if release {
+			r.Release()
+		}
+		peak := ctx.Counters(1).PeakBytes
+		ok := peak >= prevPeak && peak >= ctx.Counters(1).ReservedBytes
+		prevPeak = peak
+		return ok
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContextWithRowBuffer(t *testing.T) {
+	ctx := NewContext(testHier(t))
+	rb, err := memhier.NewRowBuffer(128, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.AttachRowBuffer(1, rb); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.AttachRowBuffer(9, rb); err == nil {
+		t.Fatal("invalid layer accepted")
+	}
+	if ctx.RowBuffer(1) != rb {
+		t.Fatal("row buffer not attached")
+	}
+
+	// Sequential reads: first word misses (full 16-cycle latency), the
+	// rest hit (2 cycles each). Word counts unchanged.
+	ctx.Read(1, 0, 64)
+	c := ctx.Counters(1)
+	if c.Reads != 64 {
+		t.Fatalf("reads %d", c.Reads)
+	}
+	wantCycles := uint64(16 + 63*2)
+	if ctx.Cycles() != wantCycles {
+		t.Fatalf("cycles %d, want %d", ctx.Cycles(), wantCycles)
+	}
+	// Energy: 64 flat reads at 8 nJ minus the hit discount on 63.
+	flat := 64 * 8.0
+	want := flat - 63*(1-0.4)*8.0
+	if got := ctx.Energy(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("energy %v, want %v", got, want)
+	}
+	if rb.HitRate() < 0.98 {
+		t.Fatalf("hit rate %v", rb.HitRate())
+	}
+}
+
+func TestRowBufferCheaperThanFlatForSequential(t *testing.T) {
+	flat := NewContext(testHier(t))
+	flat.Read(1, 0, 1000)
+
+	open := NewContext(testHier(t))
+	rb, _ := memhier.NewRowBuffer(256, 4)
+	open.AttachRowBuffer(1, rb)
+	open.Read(1, 0, 1000)
+
+	if open.Cycles() >= flat.Cycles() {
+		t.Fatalf("open-page not faster: %d vs %d", open.Cycles(), flat.Cycles())
+	}
+	if open.Energy() >= flat.Energy() {
+		t.Fatalf("open-page not cheaper: %v vs %v", open.Energy(), flat.Energy())
+	}
+}

@@ -1,0 +1,36 @@
+package stats
+
+import "testing"
+
+func BenchmarkRNGUint64(b *testing.B) {
+	r := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		r.Uint64()
+	}
+}
+
+func BenchmarkRNGIntn(b *testing.B) {
+	r := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		r.Intn(1000)
+	}
+}
+
+func BenchmarkWeightedChoice(b *testing.B) {
+	w, err := NewWeightedChoice([]float64{3, 4, 6, 3, 2, 3, 0.5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := NewRNG(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Sample(r)
+	}
+}
+
+func BenchmarkHistogramAdd(b *testing.B) {
+	h := NewHistogram()
+	for i := 0; i < b.N; i++ {
+		h.Add(int64(i % 512))
+	}
+}

@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Distributions used by the workload generators. All sampling is driven by
+// an explicit *RNG so traces are reproducible.
+
+// Exp samples an exponentially distributed value with the given mean.
+func (r *RNG) Exp(mean float64) float64 {
+	if mean <= 0 {
+		panic("stats: Exp requires positive mean")
+	}
+	u := r.Float64()
+	// Guard against log(0).
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return -mean * math.Log(1-u)
+}
+
+// Normal samples a normally distributed value via the Box-Muller transform.
+func (r *RNG) Normal(mean, stddev float64) float64 {
+	u1 := r.Float64()
+	u2 := r.Float64()
+	if u1 <= 0 {
+		u1 = math.SmallestNonzeroFloat64
+	}
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// Pareto samples a (type I) Pareto distributed value with minimum xm and
+// shape alpha. Heavy-tailed; used for long-lived object lifetimes.
+func (r *RNG) Pareto(xm, alpha float64) float64 {
+	if xm <= 0 || alpha <= 0 {
+		panic("stats: Pareto requires positive xm and alpha")
+	}
+	u := r.Float64()
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return xm / math.Pow(1-u, 1/alpha)
+}
+
+// Geometric samples the number of failures before the first success in a
+// Bernoulli(p) sequence. p must be in (0, 1].
+func (r *RNG) Geometric(p float64) int {
+	if p <= 0 || p > 1 {
+		panic("stats: Geometric requires p in (0,1]")
+	}
+	if p == 1 {
+		return 0
+	}
+	u := r.Float64()
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return int(math.Floor(math.Log(1-u) / math.Log(1-p)))
+}
+
+// Poisson samples a Poisson distributed count with the given mean using
+// Knuth's method (adequate for the small means the generators use).
+func (r *RNG) Poisson(mean float64) int {
+	if mean <= 0 {
+		panic("stats: Poisson requires positive mean")
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// WeightedChoice selects indices according to fixed relative weights.
+// It precomputes the cumulative distribution once so sampling is O(log n).
+type WeightedChoice struct {
+	cum []float64
+}
+
+// NewWeightedChoice builds a sampler over len(weights) outcomes. Weights
+// must be non-negative with a positive sum.
+func NewWeightedChoice(weights []float64) (*WeightedChoice, error) {
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("stats: no weights")
+	}
+	cum := make([]float64, len(weights))
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("stats: invalid weight %v at index %d", w, i)
+		}
+		total += w
+		cum[i] = total
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("stats: weights sum to zero")
+	}
+	return &WeightedChoice{cum: cum}, nil
+}
+
+// N reports the number of outcomes.
+func (w *WeightedChoice) N() int { return len(w.cum) }
+
+// Sample draws one outcome index using r.
+func (w *WeightedChoice) Sample(r *RNG) int {
+	total := w.cum[len(w.cum)-1]
+	x := r.Float64() * total
+	return sort.SearchFloat64s(w.cum, x)
+}
+
+// Zipf samples ranks 1..n with probability proportional to 1/rank^s, a
+// common model for "few sizes dominate" allocation behaviour.
+type Zipf struct {
+	choice *WeightedChoice
+}
+
+// NewZipf builds a Zipf sampler over n ranks with exponent s > 0.
+func NewZipf(n int, s float64) (*Zipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("stats: Zipf requires n > 0")
+	}
+	if s <= 0 {
+		return nil, fmt.Errorf("stats: Zipf requires s > 0")
+	}
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 / math.Pow(float64(i+1), s)
+	}
+	c, err := NewWeightedChoice(w)
+	if err != nil {
+		return nil, err
+	}
+	return &Zipf{choice: c}, nil
+}
+
+// Sample draws a rank in [0, n).
+func (z *Zipf) Sample(r *RNG) int { return z.choice.Sample(r) }

@@ -1,0 +1,141 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Histogram counts occurrences of integer-valued observations (block sizes,
+// lifetimes, access counts). It keeps exact per-value counts; the profiler
+// and trace statistics use it to find dominant block sizes.
+type Histogram struct {
+	counts map[int64]int64
+	total  int64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[int64]int64)}
+}
+
+// Add records one observation of value v.
+func (h *Histogram) Add(v int64) { h.AddN(v, 1) }
+
+// AddN records n observations of value v.
+func (h *Histogram) AddN(v int64, n int64) {
+	if n <= 0 {
+		return
+	}
+	if h.total == 0 || v < h.min {
+		h.min = v
+	}
+	if h.total == 0 || v > h.max {
+		h.max = v
+	}
+	h.counts[v] += n
+	h.total += n
+	h.sum += v * n
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Count returns the number of observations of value v.
+func (h *Histogram) Count(v int64) int64 { return h.counts[v] }
+
+// Min returns the smallest observed value (0 when empty).
+func (h *Histogram) Min() int64 { return h.min }
+
+// Max returns the largest observed value (0 when empty).
+func (h *Histogram) Max() int64 { return h.max }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Values returns the distinct observed values in ascending order.
+func (h *Histogram) Values() []int64 {
+	vs := make([]int64, 0, len(h.counts))
+	for v := range h.counts {
+		vs = append(vs, v)
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	return vs
+}
+
+// Percentile returns the smallest value v such that at least p (0..1) of
+// the observations are <= v. Empty histograms return 0.
+func (h *Histogram) Percentile(p float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	target := int64(p * float64(h.total))
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for _, v := range h.Values() {
+		seen += h.counts[v]
+		if seen >= target {
+			return v
+		}
+	}
+	return h.max
+}
+
+// TopN returns up to n (value, count) pairs ordered by descending count,
+// breaking ties by ascending value. The workload analyser uses it to pick
+// dominant block sizes for dedicated pools.
+func (h *Histogram) TopN(n int) []ValueCount {
+	all := make([]ValueCount, 0, len(h.counts))
+	for v, c := range h.counts {
+		all = append(all, ValueCount{Value: v, Count: c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Count != all[j].Count {
+			return all[i].Count > all[j].Count
+		}
+		return all[i].Value < all[j].Value
+	})
+	if n < len(all) {
+		all = all[:n]
+	}
+	return all
+}
+
+// ValueCount pairs an observed value with its count.
+type ValueCount struct {
+	Value int64
+	Count int64
+}
+
+// String renders a compact textual summary, e.g. for debug logs.
+func (h *Histogram) String() string {
+	if h.total == 0 {
+		return "hist{empty}"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "hist{n=%d min=%d max=%d mean=%.1f top=", h.total, h.min, h.max, h.Mean())
+	for i, vc := range h.TopN(3) {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d×%d", vc.Value, vc.Count)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

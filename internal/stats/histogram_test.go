@@ -1,0 +1,144 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Total() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	h.Add(74)
+	h.Add(74)
+	h.Add(1500)
+	if h.Total() != 3 {
+		t.Fatalf("total %d", h.Total())
+	}
+	if h.Count(74) != 2 || h.Count(1500) != 1 || h.Count(999) != 0 {
+		t.Fatal("counts wrong")
+	}
+	if h.Min() != 74 || h.Max() != 1500 {
+		t.Fatalf("min/max %d/%d", h.Min(), h.Max())
+	}
+	want := float64(74+74+1500) / 3
+	if h.Mean() != want {
+		t.Fatalf("mean %v want %v", h.Mean(), want)
+	}
+}
+
+func TestHistogramAddN(t *testing.T) {
+	h := NewHistogram()
+	h.AddN(8, 5)
+	h.AddN(8, 0)  // no-op
+	h.AddN(8, -3) // no-op
+	if h.Count(8) != 5 || h.Total() != 5 {
+		t.Fatalf("AddN wrong: count=%d total=%d", h.Count(8), h.Total())
+	}
+}
+
+func TestHistogramValuesSorted(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int64{5, 1, 9, 1, 3} {
+		h.Add(v)
+	}
+	vs := h.Values()
+	want := []int64{1, 3, 5, 9}
+	if len(vs) != len(want) {
+		t.Fatalf("values %v", vs)
+	}
+	for i := range want {
+		if vs[i] != want[i] {
+			t.Fatalf("values %v want %v", vs, want)
+		}
+	}
+}
+
+func TestHistogramPercentile(t *testing.T) {
+	h := NewHistogram()
+	for v := int64(1); v <= 100; v++ {
+		h.Add(v)
+	}
+	cases := []struct {
+		p    float64
+		want int64
+	}{{0, 1}, {0.5, 50}, {0.9, 90}, {1, 100}, {-1, 1}, {2, 100}}
+	for _, c := range cases {
+		if got := h.Percentile(c.p); got != c.want {
+			t.Fatalf("P%v = %d want %d", c.p, got, c.want)
+		}
+	}
+}
+
+func TestHistogramTopN(t *testing.T) {
+	h := NewHistogram()
+	h.AddN(74, 100)
+	h.AddN(1500, 40)
+	h.AddN(32, 40)
+	h.AddN(8, 1)
+	top := h.TopN(3)
+	if len(top) != 3 {
+		t.Fatalf("top %v", top)
+	}
+	if top[0].Value != 74 {
+		t.Fatalf("dominant value %d", top[0].Value)
+	}
+	// Tie between 1500 and 32 broken by ascending value.
+	if top[1].Value != 32 || top[2].Value != 1500 {
+		t.Fatalf("tie-break wrong: %v", top)
+	}
+	if got := h.TopN(100); len(got) != 4 {
+		t.Fatalf("TopN over-count: %v", got)
+	}
+}
+
+func TestHistogramPropertyTotalEqualsSumOfCounts(t *testing.T) {
+	if err := quick.Check(func(vals []int16) bool {
+		h := NewHistogram()
+		for _, v := range vals {
+			h.Add(int64(v))
+		}
+		var sum int64
+		for _, v := range h.Values() {
+			sum += h.Count(v)
+		}
+		return sum == h.Total() && sum == int64(len(vals))
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramPropertyPercentileMonotone(t *testing.T) {
+	if err := quick.Check(func(vals []uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		for _, v := range vals {
+			h.Add(int64(v))
+		}
+		prev := h.Percentile(0)
+		for p := 0.1; p <= 1.0; p += 0.1 {
+			cur := h.Percentile(p)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return h.Percentile(1) == h.Max()
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram()
+	if h.String() != "hist{empty}" {
+		t.Fatalf("empty string %q", h.String())
+	}
+	h.Add(4)
+	if s := h.String(); len(s) == 0 || s == "hist{empty}" {
+		t.Fatalf("string %q", s)
+	}
+}

@@ -1,0 +1,244 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Text format: a line-oriented codec easy to inspect and to feed to the
+// CLI tools. One event per line:
+//
+//	# dmtrace <name>
+//	a <id> <size>
+//	f <id>
+//	x <id> <reads> <writes>
+//	t <cycles>
+//
+// Binary format: "DMTR" magic, version byte, name, event count, then one
+// varint-packed record per event. Roughly 4-8x denser than text; the
+// profiler's raw logs (which reach gigabytes, as in the paper) use the
+// same varint framing.
+
+// WriteText writes the trace in the text format.
+func WriteText(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# dmtrace %s\n", t.Name); err != nil {
+		return err
+	}
+	for i, e := range t.Events {
+		var err error
+		switch e.Kind {
+		case KindAlloc:
+			_, err = fmt.Fprintf(bw, "a %d %d\n", e.ID, e.Size)
+		case KindFree:
+			_, err = fmt.Fprintf(bw, "f %d\n", e.ID)
+		case KindAccess:
+			_, err = fmt.Fprintf(bw, "x %d %d %d\n", e.ID, e.Reads, e.Writes)
+		case KindTick:
+			_, err = fmt.Fprintf(bw, "t %d\n", e.Cycles)
+		default:
+			return fmt.Errorf("trace: event %d has unknown kind %d", i, e.Kind)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the text format.
+func ReadText(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	t := &Trace{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if name, ok := strings.CutPrefix(line, "# dmtrace "); ok && t.Name == "" {
+				t.Name = strings.TrimSpace(name)
+			}
+			continue
+		}
+		var e Event
+		var n int
+		var err error
+		switch line[0] {
+		case 'a':
+			e.Kind = KindAlloc
+			n, err = fmt.Sscanf(line, "a %d %d", &e.ID, &e.Size)
+			if err != nil || n != 2 {
+				return nil, fmt.Errorf("trace: line %d: bad alloc %q", lineNo, line)
+			}
+		case 'f':
+			e.Kind = KindFree
+			n, err = fmt.Sscanf(line, "f %d", &e.ID)
+			if err != nil || n != 1 {
+				return nil, fmt.Errorf("trace: line %d: bad free %q", lineNo, line)
+			}
+		case 'x':
+			e.Kind = KindAccess
+			n, err = fmt.Sscanf(line, "x %d %d %d", &e.ID, &e.Reads, &e.Writes)
+			if err != nil || n != 3 {
+				return nil, fmt.Errorf("trace: line %d: bad access %q", lineNo, line)
+			}
+		case 't':
+			e.Kind = KindTick
+			n, err = fmt.Sscanf(line, "t %d", &e.Cycles)
+			if err != nil || n != 1 {
+				return nil, fmt.Errorf("trace: line %d: bad tick %q", lineNo, line)
+			}
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown record %q", lineNo, line)
+		}
+		t.Events = append(t.Events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+const (
+	binaryMagic   = "DMTR"
+	binaryVersion = 1
+)
+
+// ReadAuto sniffs the trace format (binary magic vs text) and parses
+// accordingly.
+func ReadAuto(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(binaryMagic))
+	if err == nil && string(head) == binaryMagic {
+		return ReadBinary(br)
+	}
+	return ReadText(br)
+}
+
+// WriteBinary writes the trace in the varint binary format.
+func WriteBinary(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(binaryVersion); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := putUvarint(uint64(len(t.Name))); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(t.Name); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(len(t.Events))); err != nil {
+		return err
+	}
+	for i, e := range t.Events {
+		if err := bw.WriteByte(byte(e.Kind)); err != nil {
+			return err
+		}
+		var fields []uint64
+		switch e.Kind {
+		case KindAlloc:
+			fields = []uint64{e.ID, uint64(e.Size)}
+		case KindFree:
+			fields = []uint64{e.ID}
+		case KindAccess:
+			fields = []uint64{e.ID, e.Reads, e.Writes}
+		case KindTick:
+			fields = []uint64{e.Cycles}
+		default:
+			return fmt.Errorf("trace: event %d has unknown kind %d", i, e.Kind)
+		}
+		for _, f := range fields {
+			if err := putUvarint(f); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the varint binary format.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	version, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if version != binaryVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", version)
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("trace: implausible name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	t := &Trace{Name: string(name)}
+	if count < 1<<24 {
+		t.Events = make([]Event, 0, count)
+	}
+	for i := uint64(0); i < count; i++ {
+		kind, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: event %d: %w", i, err)
+		}
+		e := Event{Kind: EventKind(kind)}
+		read := func() (uint64, error) { return binary.ReadUvarint(br) }
+		switch e.Kind {
+		case KindAlloc:
+			if e.ID, err = read(); err == nil {
+				var sz uint64
+				sz, err = read()
+				e.Size = int64(sz)
+			}
+		case KindFree:
+			e.ID, err = read()
+		case KindAccess:
+			if e.ID, err = read(); err == nil {
+				if e.Reads, err = read(); err == nil {
+					e.Writes, err = read()
+				}
+			}
+		case KindTick:
+			e.Cycles, err = read()
+		default:
+			return nil, fmt.Errorf("trace: event %d: unknown kind %d", i, kind)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: event %d: %w", i, err)
+		}
+		t.Events = append(t.Events, e)
+	}
+	return t, nil
+}

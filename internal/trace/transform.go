@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"fmt"
+
+	"dmexplore/internal/stats"
+)
+
+// Transforms over traces: slicing a window out of a long capture and
+// interleaving several applications into one combined trace (the
+// multi-application SoC scenario — several dynamic tasks sharing one
+// DM subsystem).
+
+// Slice returns the sub-trace of events [from, to) made self-contained:
+// allocations live at 'from' are re-created at the start (so frees and
+// accesses inside the window stay valid), and allocations still live at
+// 'to' are left unfreed (truncation does not invent frees).
+func Slice(t *Trace, from, to int) (*Trace, error) {
+	if from < 0 || to > len(t.Events) || from > to {
+		return nil, fmt.Errorf("trace: slice [%d,%d) out of range 0..%d", from, to, len(t.Events))
+	}
+	out := &Trace{Name: fmt.Sprintf("%s[%d:%d]", t.Name, from, to)}
+
+	// Allocations live at the window start, in allocation order.
+	live := make(map[uint64]int64)
+	var order []uint64
+	for _, e := range t.Events[:from] {
+		switch e.Kind {
+		case KindAlloc:
+			live[e.ID] = e.Size
+			order = append(order, e.ID)
+		case KindFree:
+			delete(live, e.ID)
+		}
+	}
+	for _, id := range order {
+		if size, ok := live[id]; ok {
+			out.Events = append(out.Events, Event{Kind: KindAlloc, ID: id, Size: size})
+		}
+	}
+	out.Events = append(out.Events, t.Events[from:to]...)
+	return out, nil
+}
+
+// Interleave merges several traces into one combined multi-application
+// trace. Events keep their per-trace order; the merge interleaves
+// proportionally to the remaining lengths with deterministic
+// pseudo-random arbitration (seed). IDs are remapped to avoid collisions.
+func Interleave(name string, seed uint64, traces ...*Trace) (*Trace, error) {
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("trace: nothing to interleave")
+	}
+	total := 0
+	for _, t := range traces {
+		total += len(t.Events)
+	}
+	out := &Trace{Name: name, Events: make([]Event, 0, total)}
+	rng := stats.NewRNG(seed)
+	pos := make([]int, len(traces))
+	// idBase gives each input trace a disjoint ID namespace.
+	idBase := make([]uint64, len(traces))
+	for i := 1; i < len(traces); i++ {
+		idBase[i] = idBase[i-1] + maxID(traces[i-1]) + 1
+	}
+	for {
+		// Weighted pick proportional to remaining events.
+		remaining := 0
+		for i, t := range traces {
+			remaining += len(t.Events) - pos[i]
+		}
+		if remaining == 0 {
+			return out, nil
+		}
+		x := rng.Int64n(int64(remaining))
+		src := -1
+		for i, t := range traces {
+			r := int64(len(t.Events) - pos[i])
+			if x < r {
+				src = i
+				break
+			}
+			x -= r
+		}
+		e := traces[src].Events[pos[src]]
+		pos[src]++
+		if e.ID != 0 {
+			e.ID += idBase[src]
+		}
+		out.Events = append(out.Events, e)
+	}
+}
+
+// maxID returns the largest allocation ID used in t.
+func maxID(t *Trace) uint64 {
+	var max uint64
+	for _, e := range t.Events {
+		if e.ID > max {
+			max = e.ID
+		}
+	}
+	return max
+}
+
+// Concat appends traces back to back with disjoint ID namespaces —
+// sequential phases of different applications.
+func Concat(name string, traces ...*Trace) (*Trace, error) {
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("trace: nothing to concatenate")
+	}
+	out := &Trace{Name: name}
+	var base uint64
+	for _, t := range traces {
+		for _, e := range t.Events {
+			if e.ID != 0 {
+				e.ID += base
+			}
+			out.Events = append(out.Events, e)
+		}
+		base += maxID(t) + 1
+	}
+	return out, nil
+}

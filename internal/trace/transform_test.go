@@ -1,0 +1,183 @@
+package trace
+
+import (
+	"testing"
+)
+
+func TestSliceSelfContained(t *testing.T) {
+	b := NewBuilder("long")
+	id1 := b.Alloc(100) // event 0
+	id2 := b.Alloc(200) // event 1
+	b.Free(id1)         // event 2
+	id3 := b.Alloc(300) // event 3
+	b.Access(id2, 4, 0) // event 4
+	b.Free(id2)         // event 5
+	b.Free(id3)         // event 6
+	tr := b.Build()
+
+	// Window [3,6): id2 is live at the start and freed inside; id3
+	// allocated inside.
+	s, err := Slice(tr, 3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("slice invalid: %v", err)
+	}
+	// Pre-window live allocation (id2) is re-created first.
+	if s.Events[0].Kind != KindAlloc || s.Events[0].ID != id2 || s.Events[0].Size != 200 {
+		t.Fatalf("first event %+v", s.Events[0])
+	}
+	// id3 is left unfreed (the window ends before its free).
+	p := Analyze(s)
+	if p.FinalLiveBytes != 300 {
+		t.Fatalf("final live %d, want 300", p.FinalLiveBytes)
+	}
+}
+
+func TestSliceFullRangeIsIdentity(t *testing.T) {
+	b := NewBuilder("x")
+	id := b.Alloc(64)
+	b.Free(id)
+	tr := b.Build()
+	s, err := Slice(tr, 0, tr.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != tr.Len() {
+		t.Fatalf("len %d vs %d", s.Len(), tr.Len())
+	}
+}
+
+func TestSliceErrors(t *testing.T) {
+	tr := &Trace{Events: make([]Event, 5)}
+	for _, c := range [][2]int{{-1, 3}, {0, 6}, {4, 2}} {
+		if _, err := Slice(tr, c[0], c[1]); err == nil {
+			t.Errorf("slice %v accepted", c)
+		}
+	}
+}
+
+func twoSmallTraces(t *testing.T) (*Trace, *Trace) {
+	t.Helper()
+	a := NewBuilder("a")
+	for i := 0; i < 50; i++ {
+		id := a.Alloc(74)
+		a.Access(id, 2, 1)
+		a.Free(id)
+	}
+	b := NewBuilder("b")
+	for i := 0; i < 30; i++ {
+		id := b.Alloc(1024)
+		b.Tick(100)
+		b.Free(id)
+	}
+	return a.Build(), b.Build()
+}
+
+func TestInterleaveValidAndComplete(t *testing.T) {
+	ta, tb := twoSmallTraces(t)
+	merged, err := Interleave("combined", 1, ta, tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Len() != ta.Len()+tb.Len() {
+		t.Fatalf("len %d, want %d", merged.Len(), ta.Len()+tb.Len())
+	}
+	if err := merged.Validate(); err != nil {
+		t.Fatalf("merged invalid: %v", err)
+	}
+	// Metric-relevant totals are preserved.
+	pa, pb, pm := Analyze(ta), Analyze(tb), Analyze(merged)
+	if pm.Allocs != pa.Allocs+pb.Allocs || pm.Frees != pa.Frees+pb.Frees {
+		t.Fatal("op counts changed")
+	}
+	if pm.AccessWords != pa.AccessWords+pb.AccessWords {
+		t.Fatal("access words changed")
+	}
+	if pm.TickCycles != pa.TickCycles+pb.TickCycles {
+		t.Fatal("cycles changed")
+	}
+	// Both size populations present.
+	if pm.Sizes.Count(74) != pa.Sizes.Count(74) || pm.Sizes.Count(1024) != pb.Sizes.Count(1024) {
+		t.Fatal("size populations changed")
+	}
+}
+
+func TestInterleaveActuallyInterleaves(t *testing.T) {
+	ta, tb := twoSmallTraces(t)
+	merged, err := Interleave("combined", 1, ta, tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The merged trace must not be a plain concatenation: find a
+	// 1024-byte alloc before the last 74-byte alloc.
+	last74 := -1
+	first1024 := -1
+	for i, e := range merged.Events {
+		if e.Kind != KindAlloc {
+			continue
+		}
+		if e.Size == 74 {
+			last74 = i
+		}
+		if e.Size == 1024 && first1024 == -1 {
+			first1024 = i
+		}
+	}
+	if first1024 == -1 || last74 == -1 || first1024 > last74 {
+		t.Fatal("traces were concatenated, not interleaved")
+	}
+}
+
+func TestInterleaveDeterministic(t *testing.T) {
+	ta, tb := twoSmallTraces(t)
+	m1, _ := Interleave("c", 9, ta, tb)
+	m2, _ := Interleave("c", 9, ta, tb)
+	for i := range m1.Events {
+		if m1.Events[i] != m2.Events[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+	m3, _ := Interleave("c", 10, ta, tb)
+	same := m1.Len() == m3.Len()
+	if same {
+		identical := true
+		for i := range m1.Events {
+			if m1.Events[i] != m3.Events[i] {
+				identical = false
+				break
+			}
+		}
+		if identical {
+			t.Fatal("different seeds produced identical interleavings")
+		}
+	}
+}
+
+func TestInterleaveErrors(t *testing.T) {
+	if _, err := Interleave("x", 1); err == nil {
+		t.Fatal("empty interleave accepted")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	ta, tb := twoSmallTraces(t)
+	c, err := Concat("seq", ta, tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != ta.Len()+tb.Len() {
+		t.Fatalf("len %d", c.Len())
+	}
+	// Order preserved: all of a's events first.
+	if c.Events[0] != ta.Events[0] {
+		t.Fatal("first trace not first")
+	}
+	if _, err := Concat("x"); err == nil {
+		t.Fatal("empty concat accepted")
+	}
+}

@@ -1,0 +1,41 @@
+package workload
+
+import "testing"
+
+func BenchmarkEasyportGenerate(b *testing.B) {
+	p := DefaultEasyportParams()
+	p.Packets = 5000
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := p.Generate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(tr.Len()))
+	}
+}
+
+func BenchmarkVTCGenerate(b *testing.B) {
+	p := DefaultVTCParams()
+	p.Tiles = 16
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Generate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSyntheticGenerate(b *testing.B) {
+	p := DefaultSyntheticParams()
+	p.Ops = 5000
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Generate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"fmt"
+
+	"dmexplore/internal/stats"
+	"dmexplore/internal/trace"
+)
+
+// SyntheticParams parameterizes a generic allocation mix for unit tests,
+// micro-benchmarks and quick explorations: sizes drawn from a weighted
+// palette, exponential-ish lifetimes, optional access traffic.
+type SyntheticParams struct {
+	Seed uint64
+	Ops  int // total malloc operations
+
+	// Sizes and Weights define the size palette (parallel slices).
+	Sizes   []int64
+	Weights []float64
+
+	// FreeProb is the per-step probability of freeing a random live block
+	// (after a warm-up of MinLive allocations).
+	FreeProb float64
+	MinLive  int
+
+	// AccessWordsPerAlloc charges this many application word-writes on
+	// allocation and word-reads on free (0 disables access traffic).
+	AccessWordsPerAlloc uint64
+
+	// TickCycles charges CPU work every step (0 disables ticks).
+	TickCycles uint64
+}
+
+// DefaultSyntheticParams returns a mixed small/large palette.
+func DefaultSyntheticParams() SyntheticParams {
+	return SyntheticParams{
+		Seed:                1,
+		Ops:                 20000,
+		Sizes:               []int64{16, 48, 74, 128, 512, 1500, 4096},
+		Weights:             []float64{3, 4, 6, 3, 2, 3, 0.5},
+		FreeProb:            0.5,
+		MinLive:             64,
+		AccessWordsPerAlloc: 8,
+		TickCycles:          20,
+	}
+}
+
+// Name implements Generator.
+func (p SyntheticParams) Name() string { return "synthetic" }
+
+// Validate reports parameter errors.
+func (p SyntheticParams) Validate() error {
+	if p.Ops <= 0 {
+		return fmt.Errorf("workload: synthetic needs ops > 0")
+	}
+	if len(p.Sizes) == 0 || len(p.Sizes) != len(p.Weights) {
+		return fmt.Errorf("workload: synthetic sizes/weights mismatch")
+	}
+	for _, s := range p.Sizes {
+		if s <= 0 {
+			return fmt.Errorf("workload: synthetic size %d invalid", s)
+		}
+	}
+	if p.FreeProb < 0 || p.FreeProb >= 1 {
+		return fmt.Errorf("workload: synthetic free probability %v invalid", p.FreeProb)
+	}
+	if p.MinLive < 0 {
+		return fmt.Errorf("workload: synthetic min live %d invalid", p.MinLive)
+	}
+	return nil
+}
+
+// Generate implements Generator.
+func (p SyntheticParams) Generate() (*trace.Trace, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	choice, err := stats.NewWeightedChoice(p.Weights)
+	if err != nil {
+		return nil, fmt.Errorf("workload: synthetic weights: %w", err)
+	}
+	rng := stats.NewRNG(p.Seed)
+	b := trace.NewBuilder(fmt.Sprintf("synthetic[ops=%d,seed=%d]", p.Ops, p.Seed))
+
+	var live []uint64
+	for op := 0; op < p.Ops; op++ {
+		size := p.Sizes[choice.Sample(rng)]
+		id := b.Alloc(size)
+		if p.AccessWordsPerAlloc > 0 {
+			b.Access(id, 0, p.AccessWordsPerAlloc)
+		}
+		live = append(live, id)
+		b.Tick(p.TickCycles)
+
+		for len(live) > p.MinLive && rng.Bool(p.FreeProb) {
+			k := rng.Intn(len(live))
+			id := live[k]
+			live[k] = live[len(live)-1]
+			live = live[:len(live)-1]
+			if p.AccessWordsPerAlloc > 0 {
+				b.Access(id, p.AccessWordsPerAlloc, 0)
+			}
+			b.Free(id)
+		}
+	}
+	b.FreeAll()
+	return b.Build(), nil
+}

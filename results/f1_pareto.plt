@@ -1,0 +1,7 @@
+set title "Easyport: Pareto-optimal DM allocator configurations"
+set xlabel "accesses"
+set ylabel "footprint"
+set key top right
+set grid
+plot "results/f1_pareto.dat" index 0 using 1:2 with points pt 7 ps 0.5 lc rgb "#bbbbbb" title "all configurations", \
+     "results/f1_pareto.dat" index 1 using 1:2 with linespoints pt 5 ps 1 lc rgb "#cc0000" title "Pareto-optimal"

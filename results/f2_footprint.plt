@@ -1,0 +1,7 @@
+set title "Easyport footprint over time (never-coalesce; compare immediate)"
+set xlabel "trace event"
+set ylabel "bytes"
+set key top left
+set grid
+plot "results/f2_footprint_never.dat" using 1:2 with lines lw 2 lc rgb "#cc0000" title "allocator footprint", \
+     "results/f2_footprint_never.dat" using 1:3 with lines lw 1 lc rgb "#555555" title "application demand"
