@@ -1,0 +1,24 @@
+GO ?= go
+
+# tier1 is the CI gate: static checks plus the full test suite under the
+# race detector (the exploration fan-out is lock-free and must stay clean).
+.PHONY: tier1
+tier1: vet race
+
+.PHONY: vet
+vet:
+	$(GO) vet ./...
+
+.PHONY: test
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+.PHONY: race
+race:
+	$(GO) test -race ./...
+
+# bench-replay refreshes BENCH_replay.json with the replay-engine and
+# runner fan-out benchmark numbers.
+.PHONY: bench-replay
+bench-replay:
+	$(GO) run scripts/benchreplay.go

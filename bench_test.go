@@ -57,7 +57,11 @@ func runSweep(gen workload.Generator, space *core.Space) (*sweep, error) {
 	if err != nil {
 		return nil, err
 	}
-	runner := &core.Runner{Hierarchy: memhier.EmbeddedSoC(), Trace: tr}
+	ct, err := trace.Compile(tr)
+	if err != nil {
+		return nil, err
+	}
+	runner := &core.Runner{Hierarchy: memhier.EmbeddedSoC(), Trace: tr, Compiled: ct}
 	start := nowSeconds()
 	results, err := runner.Explore(space)
 	if err != nil {
@@ -612,7 +616,11 @@ func BenchmarkA8EvolveVsExhaustive(b *testing.B) {
 	ref[1] *= 1.01
 	trueHV := pareto.Hypervolume2D(s.points, ref)
 
-	runner := &core.Runner{Hierarchy: memhier.EmbeddedSoC(), Trace: s.trace}
+	ct, err := trace.Compile(s.trace)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runner := &core.Runner{Hierarchy: memhier.EmbeddedSoC(), Trace: s.trace, Compiled: ct}
 	budget := s.space.Size() / 4
 	var frac float64
 	b.ResetTimer()
@@ -723,7 +731,11 @@ func BenchmarkX1MultiApplication(b *testing.B) {
 		b.Fatal(err)
 	}
 
-	runner := &core.Runner{Hierarchy: memhier.EmbeddedSoC(), Trace: combined}
+	ctCombined, err := trace.Compile(combined)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runner := &core.Runner{Hierarchy: memhier.EmbeddedSoC(), Trace: combined, Compiled: ctCombined}
 	space := core.EasyportSpace()
 	objs := []string{profile.ObjAccesses, profile.ObjFootprint}
 	var accF, fpF float64

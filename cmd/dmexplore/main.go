@@ -126,7 +126,13 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintln(out)
 
-	runner := &core.Runner{Hierarchy: hier, Trace: tr, Workers: *workers}
+	// Compile the trace once up front: every configuration the sweep
+	// profiles replays the same compiled form.
+	ct, err := trace.Compile(tr)
+	if err != nil {
+		return err
+	}
+	runner := &core.Runner{Hierarchy: hier, Trace: tr, Compiled: ct, Workers: *workers}
 	if *cachePath != "" {
 		cache, err := core.OpenResultsCache(*cachePath)
 		if err != nil {

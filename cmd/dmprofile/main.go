@@ -22,6 +22,7 @@ import (
 	"dmexplore/internal/memhier"
 	"dmexplore/internal/profile"
 	"dmexplore/internal/report"
+	"dmexplore/internal/trace"
 	"dmexplore/internal/workload"
 )
 
@@ -91,7 +92,11 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	m, err := profile.Run(tr, cfg, hier, opts)
+	ct, err := trace.Compile(tr)
+	if err != nil {
+		return err
+	}
+	m, err := profile.NewReplayer().Run(ct, cfg, hier, opts)
 	if err != nil {
 		return err
 	}

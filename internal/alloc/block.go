@@ -72,12 +72,17 @@ func newArena(ctx *simheap.Context, layer memhier.LayerID, size int64) (*arena, 
 // splitBlock carves the trailing part of b into a new block of size
 // remainder and returns it. The caller charges the header writes; this
 // only updates simulator bookkeeping. b must be at least remainder+1
-// bytes large.
-func splitBlock(b *Block, keep int64) *Block {
+// bytes large. reuse, when non-nil, is recycled as the remainder's Block
+// object so steady-state split/merge churn performs no Go allocations.
+func splitBlock(b *Block, keep int64, reuse *Block) *Block {
 	if keep <= 0 || keep >= b.size {
 		panic(fmt.Sprintf("alloc: bad split keep=%d of %v", keep, b))
 	}
-	rest := &Block{
+	rest := reuse
+	if rest == nil {
+		rest = &Block{}
+	}
+	*rest = Block{
 		addr:  b.addr + uint64(keep),
 		size:  b.size - keep,
 		free:  true,
@@ -93,9 +98,10 @@ func splitBlock(b *Block, keep int64) *Block {
 	return rest
 }
 
-// mergeWithNext absorbs b's physical successor into b. The successor must
+// mergeWithNext absorbs b's physical successor into b and returns the
+// absorbed Block object so the caller can recycle it. The successor must
 // be free and not on any list.
-func mergeWithNext(b *Block) {
+func mergeWithNext(b *Block) *Block {
 	n := b.nextAdj
 	if n == nil || !n.free || n.list != nil {
 		panic(fmt.Sprintf("alloc: bad merge of %v with %v", b, n))
@@ -106,4 +112,5 @@ func mergeWithNext(b *Block) {
 		n.nextAdj.prevAdj = b
 	}
 	n.prevAdj, n.nextAdj = nil, nil
+	return n
 }

@@ -35,19 +35,32 @@ type Composed struct {
 	fixed   []*FixedPool
 	general FallbackPool
 
-	// owner tracks which pool each live payload address belongs to so Free
-	// can dispatch. On the target this dispatch is an address-range check
-	// per pool, charged as compute cycles.
-	owner     map[Ptr]*poolRef
-	requested map[Ptr]int64
+	// live tracks, per live payload address, the owning pool (so Free can
+	// dispatch) and the requested size. On the target the dispatch is an
+	// address-range check per pool, charged as compute cycles. A single
+	// value-typed map with a packed uint64 key keeps the malloc/free hot
+	// path on the fast integer map routines and free of Go heap
+	// allocations in steady state.
+	live map[uint64]liveAlloc
 
 	stats Stats
 }
 
-// poolRef identifies the owning pool of a live allocation.
-type poolRef struct {
-	fixed   *FixedPool   // nil when general
-	general FallbackPool // nil when fixed
+// liveAlloc is the per-allocation bookkeeping entry.
+type liveAlloc struct {
+	requested int64
+	pool      int32 // index into fixed; generalPool for the fallback
+}
+
+// generalPool marks an allocation served by the general fallback pool.
+const generalPool int32 = -1
+
+// liveKey packs a pointer into one map key: layer index in the top byte,
+// address below. Layer address spaces are bump-allocated from zero and
+// bounded by the run's total reservations, so addresses never approach
+// 2^56 in simulation.
+func liveKey(p Ptr) uint64 {
+	return uint64(p.Layer)<<56 | p.Addr
 }
 
 // NewComposed assembles an allocator from already-constructed pools.
@@ -57,12 +70,11 @@ func NewComposed(name string, ctx *simheap.Context, fixed []*FixedPool, general 
 		return nil, fmt.Errorf("alloc: composed allocator needs a general pool")
 	}
 	return &Composed{
-		name:      name,
-		ctx:       ctx,
-		fixed:     fixed,
-		general:   general,
-		owner:     make(map[Ptr]*poolRef),
-		requested: make(map[Ptr]int64),
+		name:    name,
+		ctx:     ctx,
+		fixed:   fixed,
+		general: general,
+		live:    make(map[uint64]liveAlloc),
 	}, nil
 }
 
@@ -80,14 +92,14 @@ func (c *Composed) Malloc(size int64) (Ptr, error) {
 	if err := checkSize(size); err != nil {
 		return Ptr{}, err
 	}
-	for _, fp := range c.fixed {
+	for i, fp := range c.fixed {
 		c.ctx.Compute(1) // routing check: size range compare
 		if !fp.Matches(size) {
 			continue
 		}
 		ptr, allocated, err := fp.Malloc(size)
 		if err == nil {
-			c.commit(ptr, &poolRef{fixed: fp}, size, allocated)
+			c.commit(ptr, int32(i), size, allocated)
 			return ptr, nil
 		}
 		// Dedicated pool exhausted: fall back to the general pool.
@@ -98,13 +110,12 @@ func (c *Composed) Malloc(size int64) (Ptr, error) {
 		c.stats.Failures++
 		return Ptr{}, err
 	}
-	c.commit(ptr, &poolRef{general: c.general}, size, allocated)
+	c.commit(ptr, generalPool, size, allocated)
 	return ptr, nil
 }
 
-func (c *Composed) commit(ptr Ptr, ref *poolRef, requested, allocated int64) {
-	c.owner[ptr] = ref
-	c.requested[ptr] = requested
+func (c *Composed) commit(ptr Ptr, pool int32, requested, allocated int64) {
+	c.live[liveKey(ptr)] = liveAlloc{requested: requested, pool: pool}
 	c.stats.Mallocs++
 	c.stats.LiveBlocks++
 	c.stats.RequestedLive += requested
@@ -113,7 +124,7 @@ func (c *Composed) commit(ptr Ptr, ref *poolRef, requested, allocated int64) {
 
 // Free implements Allocator.
 func (c *Composed) Free(p Ptr) error {
-	ref, ok := c.owner[p]
+	la, ok := c.live[liveKey(p)]
 	if !ok {
 		return fmt.Errorf("%w: %+v", ErrBadFree, p)
 	}
@@ -122,33 +133,32 @@ func (c *Composed) Free(p Ptr) error {
 		released int64
 		err      error
 	)
-	if ref.fixed != nil {
-		released, err = ref.fixed.Free(p.Addr)
+	if la.pool >= 0 {
+		released, err = c.fixed[la.pool].Free(p.Addr)
 	} else {
-		released, err = ref.general.Free(p.Addr)
+		released, err = c.general.Free(p.Addr)
 	}
 	if err != nil {
 		return err
 	}
-	delete(c.owner, p)
+	delete(c.live, liveKey(p))
 	c.stats.Frees++
 	c.stats.LiveBlocks--
-	c.stats.RequestedLive -= c.requested[p]
+	c.stats.RequestedLive -= la.requested
 	c.stats.AllocatedLive -= released
-	delete(c.requested, p)
 	return nil
 }
 
 // Where implements Allocator.
 func (c *Composed) Where(p Ptr) (Ptr, bool) {
-	_, ok := c.owner[p]
+	_, ok := c.live[liveKey(p)]
 	return p, ok
 }
 
 // SizeOf implements Allocator.
 func (c *Composed) SizeOf(p Ptr) (int64, bool) {
-	size, ok := c.requested[p]
-	return size, ok
+	la, ok := c.live[liveKey(p)]
+	return la.requested, ok
 }
 
 // Stats implements Allocator.

@@ -70,6 +70,26 @@ type GeneralPool struct {
 
 	liveByAddr map[uint64]*Block // payload address -> block
 	frees      int               // since last deferred sweep
+
+	// spare recycles Block objects between merges and splits (linked via
+	// flNext), so steady-state split/coalesce churn allocates nothing.
+	spare *Block
+}
+
+// takeSpare pops a recycled Block, or nil when none is available.
+func (p *GeneralPool) takeSpare() *Block {
+	n := p.spare
+	if n != nil {
+		p.spare = n.flNext
+		n.flNext = nil
+	}
+	return n
+}
+
+// putSpare stashes an absorbed Block for reuse by the next split.
+func (p *GeneralPool) putSpare(n *Block) {
+	*n = Block{flNext: p.spare}
+	p.spare = n
 }
 
 // NewGeneralPool reserves the pool's metadata area and returns the pool.
@@ -181,7 +201,7 @@ func (p *GeneralPool) maybeSplit(b *Block, need int64) {
 	if !split {
 		return
 	}
-	rest := splitBlock(b, need)
+	rest := splitBlock(b, need, p.takeSpare())
 	p.writeBlockMeta(rest) // remainder's header (+footer)
 	p.pushToBin(rest)
 }
@@ -238,7 +258,7 @@ func (p *GeneralPool) growCarved(need int64) (*Block, error) {
 	}
 	first := b
 	for b.size >= 2*need {
-		rest := splitBlock(b, need)
+		rest := splitBlock(b, need, p.takeSpare())
 		p.writeBlockMeta(b)
 		if b != first {
 			p.pushToBin(b)
@@ -288,7 +308,7 @@ func (p *GeneralPool) coalesceNeighbours(b *Block) *Block {
 		p.ctx.Read(p.params.Layer, b.addr-simheap.WordSize, 1)
 		if prev := b.prevAdj; prev.free && prev.list != nil {
 			prev.list.Remove(prev)
-			mergeWithNext(prev)
+			p.putSpare(mergeWithNext(prev))
 			b = prev
 			p.writeBlockMeta(b)
 		}
@@ -298,7 +318,7 @@ func (p *GeneralPool) coalesceNeighbours(b *Block) *Block {
 		p.ctx.Read(p.params.Layer, b.End(), 1)
 		if next.free && next.list != nil {
 			next.list.Remove(next)
-			mergeWithNext(b)
+			p.putSpare(mergeWithNext(b))
 			p.writeBlockMeta(b)
 		}
 	}
@@ -323,7 +343,7 @@ func (p *GeneralPool) sweep() {
 				if b.list != nil {
 					b.list.Remove(b)
 				}
-				mergeWithNext(b)
+				p.putSpare(mergeWithNext(b))
 				merged = true
 			}
 			if merged {

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"dmexplore/internal/memhier"
+	"dmexplore/internal/trace"
+	"dmexplore/internal/workload"
+)
+
+// BenchmarkRunnerFanout measures exploration scaling: one compiled trace,
+// a fixed 64-configuration sample of the Easyport space, profiled with
+// 1/2/4/8 workers. The configs/sec metric tracks how well the lock-free
+// work distribution and per-worker replayers convert cores to throughput.
+func BenchmarkRunnerFanout(b *testing.B) {
+	p := workload.DefaultEasyportParams()
+	p.Packets = 1500
+	tr, err := p.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ct, err := trace.Compile(tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	space := EasyportSpace()
+	const sampleN = 64
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			r := &Runner{
+				Hierarchy: memhier.EmbeddedSoC(),
+				Trace:     tr,
+				Compiled:  ct,
+				Workers:   workers,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := r.Sample(space, sampleN, 7); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			configsPerSec := float64(sampleN) * float64(b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(configsPerSec, "configs/sec")
+		})
+	}
+}

@@ -77,6 +77,13 @@ func CacheKey(configID string, tr *trace.Trace, h *memhier.Hierarchy) string {
 	return fmt.Sprintf("%s\x1f%s(%d)\x1f%s", configID, tr.Name, tr.Len(), h.String())
 }
 
+// CompiledCacheKey builds the same key from a compiled trace: compilation
+// preserves the event count and name, so entries cached under either form
+// of the trace are interchangeable.
+func CompiledCacheKey(configID string, ct *trace.Compiled, h *memhier.Hierarchy) string {
+	return fmt.Sprintf("%s\x1f%s(%d)\x1f%s", configID, ct.Name, ct.Len(), h.String())
+}
+
 // Get returns the cached metrics for key, if present.
 func (c *ResultsCache) Get(key string) (*profile.Metrics, bool) {
 	c.mu.Lock()

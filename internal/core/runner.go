@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"dmexplore/internal/memhier"
 	"dmexplore/internal/profile"
@@ -24,6 +25,11 @@ type Result struct {
 type Runner struct {
 	Hierarchy *memhier.Hierarchy
 	Trace     *trace.Trace
+
+	// Compiled, when non-nil, is replayed instead of Trace, skipping the
+	// per-exploration compile. Callers exploring many spaces against one
+	// trace should trace.Compile once and set this.
+	Compiled *trace.Compiled
 
 	// Workers caps the number of concurrent simulations; 0 means
 	// GOMAXPROCS.
@@ -78,8 +84,16 @@ func (r *Runner) Sample(space *Space, n int, seed uint64) ([]Result, error) {
 }
 
 func (r *Runner) run(space *Space, indices []int) ([]Result, error) {
-	if r.Hierarchy == nil || r.Trace == nil {
+	if r.Hierarchy == nil || (r.Trace == nil && r.Compiled == nil) {
 		return nil, fmt.Errorf("core: runner needs a hierarchy and a trace")
+	}
+	ct := r.Compiled
+	if ct == nil {
+		var err error
+		ct, err = trace.Compile(r.Trace)
+		if err != nil {
+			return nil, err
+		}
 	}
 	workers := r.Workers
 	if workers <= 0 {
@@ -90,11 +104,12 @@ func (r *Runner) run(space *Space, indices []int) ([]Result, error) {
 	}
 
 	results := make([]Result, len(indices))
+	// Work distribution and progress are lock-free: workers claim slots
+	// with a fetch-add, so the fan-out scales without a contended mutex.
 	var (
 		wg   sync.WaitGroup
-		next int
-		mu   sync.Mutex
-		done int
+		next atomic.Int64
+		done atomic.Int64
 	)
 	// Axis combinations can collapse to the same configuration (an axis
 	// that is inapplicable under another axis's value, e.g. pool
@@ -106,15 +121,14 @@ func (r *Runner) run(space *Space, indices []int) ([]Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One Replayer per worker: its scratch tables are sized on
+			// the first run and reused for every configuration after.
+			rep := profile.NewReplayer()
 			for {
-				mu.Lock()
-				if next >= len(indices) {
-					mu.Unlock()
+				slot := int(next.Add(1)) - 1
+				if slot >= len(indices) {
 					return
 				}
-				slot := next
-				next++
-				mu.Unlock()
 
 				idx := indices[slot]
 				res := Result{Index: idx}
@@ -132,13 +146,13 @@ func (r *Runner) run(space *Space, indices []int) ([]Result, error) {
 					}
 					key := ""
 					if res.Metrics == nil && r.Cache != nil {
-						key = CacheKey(id, r.Trace, r.Hierarchy)
+						key = CompiledCacheKey(id, ct, r.Hierarchy)
 						if m, ok := r.Cache.Get(key); ok {
 							res.Metrics = m
 						}
 					}
 					if res.Metrics == nil {
-						res.Metrics, res.Err = profile.Run(r.Trace, cfg, r.Hierarchy, r.Options)
+						res.Metrics, res.Err = rep.Run(ct, cfg, r.Hierarchy, r.Options)
 						if res.Err == nil && r.Cache != nil {
 							r.Cache.Put(key, res.Metrics)
 						}
@@ -152,11 +166,7 @@ func (r *Runner) run(space *Space, indices []int) ([]Result, error) {
 				results[slot] = res
 
 				if r.Progress != nil {
-					mu.Lock()
-					done++
-					d := done
-					mu.Unlock()
-					r.Progress(d, len(indices))
+					r.Progress(int(done.Add(1)), len(indices))
 				}
 			}
 		}()

@@ -7,13 +7,11 @@
 package profile
 
 import (
-	"errors"
 	"fmt"
 	"io"
 
 	"dmexplore/internal/alloc"
 	"dmexplore/internal/memhier"
-	"dmexplore/internal/simheap"
 	"dmexplore/internal/trace"
 )
 
@@ -128,139 +126,13 @@ type CacheSpec struct {
 	Ways      int
 }
 
-// Run profiles cfg against tr on hierarchy h.
+// Run profiles cfg against tr on hierarchy h. It compiles the trace and
+// replays it once; callers profiling many configurations against the same
+// trace should trace.Compile once and reuse a Replayer instead.
 func Run(tr *trace.Trace, cfg alloc.Config, h *memhier.Hierarchy, opts Options) (*Metrics, error) {
-	ctx := simheap.NewContext(h)
-
-	var lw *logWriter
-	if opts.LogWriter != nil {
-		lw = newLogWriter(opts.LogWriter)
-		ctx.SetTracer(lw)
-	}
-	for layerName, spec := range opts.Caches {
-		id, ok := h.ByName(layerName)
-		if !ok {
-			return nil, fmt.Errorf("profile: cache on unknown layer %q", layerName)
-		}
-		c, err := memhier.NewCache(spec.SizeWords, spec.LineWords, spec.Ways)
-		if err != nil {
-			return nil, fmt.Errorf("profile: cache for %s: %w", layerName, err)
-		}
-		if err := ctx.AttachCache(id, c); err != nil {
-			return nil, err
-		}
-	}
-
-	for layerName, spec := range opts.RowBuffers {
-		id, ok := h.ByName(layerName)
-		if !ok {
-			return nil, fmt.Errorf("profile: row buffer on unknown layer %q", layerName)
-		}
-		rb, err := memhier.NewRowBuffer(spec.RowWords, spec.Banks)
-		if err != nil {
-			return nil, fmt.Errorf("profile: row buffer for %s: %w", layerName, err)
-		}
-		if err := ctx.AttachRowBuffer(id, rb); err != nil {
-			return nil, err
-		}
-	}
-
-	a, err := cfg.Build(ctx)
+	ct, err := trace.Compile(tr)
 	if err != nil {
-		return nil, fmt.Errorf("profile: building %s: %w", cfg.ID(), err)
+		return nil, err
 	}
-
-	m := &Metrics{
-		ConfigID:    cfg.ID(),
-		ConfigLabel: cfg.Label,
-		Workload:    tr.Name,
-	}
-
-	ptrs := make(map[uint64]alloc.Ptr)
-	reqSize := make(map[uint64]int64)
-	var liveRequested, peakRequested int64
-
-	sample := func(i int) {
-		m.Series = append(m.Series, FootprintSample{
-			Event:          i,
-			ReservedBytes:  ctx.TotalReservedBytes(),
-			RequestedBytes: liveRequested,
-		})
-	}
-	for i, e := range tr.Events {
-		if opts.SampleEvery > 0 && i%opts.SampleEvery == 0 {
-			sample(i)
-		}
-		switch e.Kind {
-		case trace.KindAlloc:
-			liveRequested += e.Size
-			reqSize[e.ID] = e.Size
-			if liveRequested > peakRequested {
-				peakRequested = liveRequested
-			}
-			ptr, err := a.Malloc(e.Size)
-			if err != nil {
-				if errors.Is(err, alloc.ErrOutOfMemory) {
-					m.Failures++
-					continue
-				}
-				return nil, fmt.Errorf("profile: event %d: %w", i, err)
-			}
-			m.Mallocs++
-			ptrs[e.ID] = ptr
-		case trace.KindFree:
-			liveRequested -= reqSize[e.ID]
-			delete(reqSize, e.ID)
-			ptr, ok := ptrs[e.ID]
-			if !ok {
-				// The allocation failed; nothing to free.
-				continue
-			}
-			if err := a.Free(ptr); err != nil {
-				return nil, fmt.Errorf("profile: event %d: %w", i, err)
-			}
-			m.Frees++
-			delete(ptrs, e.ID)
-		case trace.KindAccess:
-			ptr, ok := ptrs[e.ID]
-			if !ok {
-				continue
-			}
-			if e.Reads > 0 {
-				ctx.Read(ptr.Layer, ptr.Addr, e.Reads)
-			}
-			if e.Writes > 0 {
-				ctx.Write(ptr.Layer, ptr.Addr, e.Writes)
-			}
-		case trace.KindTick:
-			ctx.Compute(e.Cycles)
-		default:
-			return nil, fmt.Errorf("profile: event %d: unknown kind %d", i, e.Kind)
-		}
-	}
-
-	if opts.SampleEvery > 0 {
-		sample(len(tr.Events))
-	}
-	if lw != nil {
-		if err := lw.Flush(); err != nil {
-			return nil, fmt.Errorf("profile: flushing log: %w", err)
-		}
-	}
-
-	for i := 0; i < h.NumLayers(); i++ {
-		c := ctx.Counters(memhier.LayerID(i))
-		m.PerLayer = append(m.PerLayer, LayerMetrics{
-			Name:      h.Layer(memhier.LayerID(i)).Name,
-			Reads:     c.Reads,
-			Writes:    c.Writes,
-			PeakBytes: c.PeakBytes,
-		})
-	}
-	m.Accesses = ctx.TotalAccesses()
-	m.FootprintBytes = ctx.TotalPeakBytes()
-	m.EnergyNJ = ctx.Energy()
-	m.Cycles = ctx.Cycles()
-	m.PeakRequestedBytes = peakRequested
-	return m, nil
+	return NewReplayer().Run(ct, cfg, h, opts)
 }

@@ -1,0 +1,194 @@
+package profile
+
+import (
+	"errors"
+	"fmt"
+
+	"dmexplore/internal/alloc"
+	"dmexplore/internal/memhier"
+	"dmexplore/internal/simheap"
+	"dmexplore/internal/trace"
+)
+
+// Replayer replays compiled traces against allocator configurations. Its
+// scratch state — a flat pointer table indexed by dense allocation ID —
+// is allocated once and reused across runs, so the steady-state replay
+// loop performs no Go heap allocations per event. A Replayer is not safe
+// for concurrent use; explorations run one per worker.
+type Replayer struct {
+	ptrs []alloc.Ptr // dense ID -> payload pointer
+	live []bool      // dense ID -> allocation currently live (not failed)
+}
+
+// NewReplayer returns a Replayer with empty scratch state. The first Run
+// sizes the tables to the trace's dense ID space.
+func NewReplayer() *Replayer {
+	return &Replayer{}
+}
+
+// reset prepares the scratch tables for a trace with n dense IDs.
+func (r *Replayer) reset(n int) {
+	if cap(r.ptrs) < n {
+		r.ptrs = make([]alloc.Ptr, n)
+		r.live = make([]bool, n)
+		return
+	}
+	r.ptrs = r.ptrs[:n]
+	r.live = r.live[:n]
+	for i := range r.ptrs {
+		r.ptrs[i] = alloc.Ptr{}
+		r.live[i] = false
+	}
+}
+
+// applyOptions attaches the run options' models to a fresh context and
+// returns the log writer, if any.
+func applyOptions(ctx *simheap.Context, h *memhier.Hierarchy, opts Options) (*logWriter, error) {
+	var lw *logWriter
+	if opts.LogWriter != nil {
+		lw = newLogWriter(opts.LogWriter)
+		ctx.SetTracer(lw)
+	}
+	for layerName, spec := range opts.Caches {
+		id, ok := h.ByName(layerName)
+		if !ok {
+			return nil, fmt.Errorf("profile: cache on unknown layer %q", layerName)
+		}
+		c, err := memhier.NewCache(spec.SizeWords, spec.LineWords, spec.Ways)
+		if err != nil {
+			return nil, fmt.Errorf("profile: cache for %s: %w", layerName, err)
+		}
+		if err := ctx.AttachCache(id, c); err != nil {
+			return nil, err
+		}
+	}
+	for layerName, spec := range opts.RowBuffers {
+		id, ok := h.ByName(layerName)
+		if !ok {
+			return nil, fmt.Errorf("profile: row buffer on unknown layer %q", layerName)
+		}
+		rb, err := memhier.NewRowBuffer(spec.RowWords, spec.Banks)
+		if err != nil {
+			return nil, fmt.Errorf("profile: row buffer for %s: %w", layerName, err)
+		}
+		if err := ctx.AttachRowBuffer(id, rb); err != nil {
+			return nil, err
+		}
+	}
+	return lw, nil
+}
+
+// Run profiles cfg against the compiled trace ct on hierarchy h. The
+// compiled trace is shared read-only; the Replayer's scratch state is
+// reset, not reallocated, between runs.
+func (r *Replayer) Run(ct *trace.Compiled, cfg alloc.Config, h *memhier.Hierarchy, opts Options) (*Metrics, error) {
+	ctx := simheap.NewContext(h)
+	lw, err := applyOptions(ctx, h, opts)
+	if err != nil {
+		return nil, err
+	}
+	a, err := cfg.Build(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("profile: building %s: %w", cfg.ID(), err)
+	}
+
+	m := &Metrics{
+		ConfigID:    cfg.ID(),
+		ConfigLabel: cfg.Label,
+		Workload:    ct.Name,
+	}
+	if opts.SampleEvery > 0 {
+		m.Series = make([]FootprintSample, 0, len(ct.Ops)/opts.SampleEvery+2)
+	}
+	r.reset(ct.NumIDs)
+	if err := r.replay(ct, a, ctx, m, opts.SampleEvery); err != nil {
+		return nil, err
+	}
+
+	if lw != nil {
+		if err := lw.Flush(); err != nil {
+			return nil, fmt.Errorf("profile: flushing log: %w", err)
+		}
+	}
+	for i := 0; i < h.NumLayers(); i++ {
+		c := ctx.Counters(memhier.LayerID(i))
+		m.PerLayer = append(m.PerLayer, LayerMetrics{
+			Name:      h.Layer(memhier.LayerID(i)).Name,
+			Reads:     c.Reads,
+			Writes:    c.Writes,
+			PeakBytes: c.PeakBytes,
+		})
+	}
+	m.Accesses = ctx.TotalAccesses()
+	m.FootprintBytes = ctx.TotalPeakBytes()
+	m.EnergyNJ = ctx.Energy()
+	m.Cycles = ctx.Cycles()
+	m.PeakRequestedBytes = ct.PeakRequestedBytes
+	return m, nil
+}
+
+// replay is the steady-state hot loop: every per-event branch works on
+// flat pre-sized state, and footprint samples read the context's running
+// reserved-bytes total instead of looping over layers.
+func (r *Replayer) replay(ct *trace.Compiled, a alloc.Allocator, ctx *simheap.Context, m *Metrics, sampleEvery int) error {
+	var liveRequested int64
+	for i := range ct.Ops {
+		op := &ct.Ops[i]
+		if sampleEvery > 0 && i%sampleEvery == 0 {
+			m.Series = append(m.Series, FootprintSample{
+				Event:          i,
+				ReservedBytes:  ctx.TotalReservedBytes(),
+				RequestedBytes: liveRequested,
+			})
+		}
+		switch op.Kind {
+		case trace.KindAlloc:
+			liveRequested += op.Size
+			ptr, err := a.Malloc(op.Size)
+			if err != nil {
+				if errors.Is(err, alloc.ErrOutOfMemory) {
+					m.Failures++
+					continue
+				}
+				return fmt.Errorf("profile: event %d: %w", i, err)
+			}
+			m.Mallocs++
+			r.ptrs[op.ID] = ptr
+			r.live[op.ID] = true
+		case trace.KindFree:
+			liveRequested -= op.Size
+			if !r.live[op.ID] {
+				// The allocation failed; nothing to free.
+				continue
+			}
+			r.live[op.ID] = false
+			if err := a.Free(r.ptrs[op.ID]); err != nil {
+				return fmt.Errorf("profile: event %d: %w", i, err)
+			}
+			m.Frees++
+		case trace.KindAccess:
+			if !r.live[op.ID] {
+				continue
+			}
+			ptr := r.ptrs[op.ID]
+			if op.Reads > 0 {
+				ctx.Read(ptr.Layer, ptr.Addr, op.Reads)
+			}
+			if op.Writes > 0 {
+				ctx.Write(ptr.Layer, ptr.Addr, op.Writes)
+			}
+		case trace.KindTick:
+			ctx.Compute(op.Cycles)
+		default:
+			return fmt.Errorf("profile: event %d: unknown kind %d", i, op.Kind)
+		}
+	}
+	if sampleEvery > 0 {
+		m.Series = append(m.Series, FootprintSample{
+			Event:          len(ct.Ops),
+			ReservedBytes:  ctx.TotalReservedBytes(),
+			RequestedBytes: liveRequested,
+		})
+	}
+	return nil
+}

@@ -1,0 +1,309 @@
+package profile
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"dmexplore/internal/alloc"
+	"dmexplore/internal/memhier"
+	"dmexplore/internal/simheap"
+	"dmexplore/internal/trace"
+	"dmexplore/internal/workload"
+)
+
+// referenceRun is the pre-compilation replay loop, kept verbatim as the
+// behavioural oracle: sparse-ID maps for pointers and requested sizes,
+// and footprint samples recomputed by summing every layer's reserved
+// bytes. The compiled Replayer must produce byte-identical Metrics.
+func referenceRun(tr *trace.Trace, cfg alloc.Config, h *memhier.Hierarchy, opts Options) (*Metrics, error) {
+	ctx := simheap.NewContext(h)
+	lw, err := applyOptions(ctx, h, opts)
+	if err != nil {
+		return nil, err
+	}
+	a, err := cfg.Build(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("profile: building %s: %w", cfg.ID(), err)
+	}
+	m := &Metrics{
+		ConfigID:    cfg.ID(),
+		ConfigLabel: cfg.Label,
+		Workload:    tr.Name,
+	}
+
+	ptrs := make(map[uint64]alloc.Ptr)
+	reqSize := make(map[uint64]int64)
+	var liveRequested, peakRequested int64
+
+	sample := func(i int) {
+		m.Series = append(m.Series, FootprintSample{
+			Event:          i,
+			ReservedBytes:  sumReserved(ctx, h),
+			RequestedBytes: liveRequested,
+		})
+	}
+	for i, e := range tr.Events {
+		if opts.SampleEvery > 0 && i%opts.SampleEvery == 0 {
+			sample(i)
+		}
+		switch e.Kind {
+		case trace.KindAlloc:
+			liveRequested += e.Size
+			reqSize[e.ID] = e.Size
+			if liveRequested > peakRequested {
+				peakRequested = liveRequested
+			}
+			ptr, err := a.Malloc(e.Size)
+			if err != nil {
+				if errors.Is(err, alloc.ErrOutOfMemory) {
+					m.Failures++
+					continue
+				}
+				return nil, fmt.Errorf("profile: event %d: %w", i, err)
+			}
+			m.Mallocs++
+			ptrs[e.ID] = ptr
+		case trace.KindFree:
+			liveRequested -= reqSize[e.ID]
+			delete(reqSize, e.ID)
+			ptr, ok := ptrs[e.ID]
+			if !ok {
+				continue
+			}
+			if err := a.Free(ptr); err != nil {
+				return nil, fmt.Errorf("profile: event %d: %w", i, err)
+			}
+			m.Frees++
+			delete(ptrs, e.ID)
+		case trace.KindAccess:
+			ptr, ok := ptrs[e.ID]
+			if !ok {
+				continue
+			}
+			if e.Reads > 0 {
+				ctx.Read(ptr.Layer, ptr.Addr, e.Reads)
+			}
+			if e.Writes > 0 {
+				ctx.Write(ptr.Layer, ptr.Addr, e.Writes)
+			}
+		case trace.KindTick:
+			ctx.Compute(e.Cycles)
+		default:
+			return nil, fmt.Errorf("profile: event %d: unknown kind %d", i, e.Kind)
+		}
+	}
+	if opts.SampleEvery > 0 {
+		sample(len(tr.Events))
+	}
+	if lw != nil {
+		if err := lw.Flush(); err != nil {
+			return nil, fmt.Errorf("profile: flushing log: %w", err)
+		}
+	}
+	for i := 0; i < h.NumLayers(); i++ {
+		c := ctx.Counters(memhier.LayerID(i))
+		m.PerLayer = append(m.PerLayer, LayerMetrics{
+			Name:      h.Layer(memhier.LayerID(i)).Name,
+			Reads:     c.Reads,
+			Writes:    c.Writes,
+			PeakBytes: c.PeakBytes,
+		})
+	}
+	m.Accesses = ctx.TotalAccesses()
+	m.FootprintBytes = ctx.TotalPeakBytes()
+	m.EnergyNJ = ctx.Energy()
+	m.Cycles = ctx.Cycles()
+	m.PeakRequestedBytes = peakRequested
+	return m, nil
+}
+
+// sumReserved recomputes the instantaneous footprint the slow way,
+// layer by layer — what sampling did before the context kept a running
+// total.
+func sumReserved(ctx *simheap.Context, h *memhier.Hierarchy) int64 {
+	var total int64
+	for i := 0; i < h.NumLayers(); i++ {
+		total += ctx.Counters(memhier.LayerID(i)).ReservedBytes
+	}
+	return total
+}
+
+// presetConfigs are the three preset allocators the equivalence tests
+// sweep.
+func presetConfigs() []alloc.Config {
+	return []alloc.Config{
+		alloc.KingsleyConfig(memhier.LayerDRAM),
+		alloc.LeaConfig(memhier.LayerDRAM),
+		alloc.SimpleFirstFitConfig(memhier.LayerDRAM),
+	}
+}
+
+// checkEquivalence replays tr through the reference loop and the compiled
+// Replayer under every preset and requires identical Metrics.
+func checkEquivalence(t *testing.T, tr *trace.Trace, opts Options) {
+	t.Helper()
+	ct, err := trace.Compile(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := memhier.EmbeddedSoC()
+	for _, cfg := range presetConfigs() {
+		want, err := referenceRun(tr, cfg, h, opts)
+		if err != nil {
+			t.Fatalf("%s: reference: %v", cfg.Label, err)
+		}
+		got, err := NewReplayer().Run(ct, cfg, h, opts)
+		if err != nil {
+			t.Fatalf("%s: replayer: %v", cfg.Label, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("%s: compiled replay diverges from reference\nwant %+v\ngot  %+v", cfg.Label, want, got)
+		}
+	}
+}
+
+func TestReplayerMatchesReferenceEasyport(t *testing.T) {
+	p := workload.DefaultEasyportParams()
+	p.Packets = 800
+	tr, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEquivalence(t, tr, Options{SampleEvery: 200})
+}
+
+func TestReplayerMatchesReferenceVTC(t *testing.T) {
+	tr, err := workload.DefaultVTCParams().Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEquivalence(t, tr, Options{SampleEvery: 500})
+}
+
+// oomTrace builds a synthetic trace whose large allocation overflows a
+// budget-capped pool: the replay must survive the failed allocation, the
+// accesses to it and its free.
+func oomTrace() *trace.Trace {
+	b := trace.NewBuilder("oomtest")
+	small := b.Alloc(512)
+	b.Access(small, 8, 4)
+	big := b.Alloc(8 * 1024) // exceeds the pool budget below
+	b.Access(big, 16, 16)    // access to a failed allocation: skipped
+	b.Tick(50)
+	b.Free(big) // free of a failed allocation: skipped
+	mid := b.Alloc(1024)
+	b.Access(mid, 4, 4)
+	b.Free(small)
+	b.FreeAll()
+	return b.Build()
+}
+
+// oomConfig caps the general pool so oomTrace's big allocation fails.
+func oomConfig() alloc.Config {
+	cfg := alloc.SimpleFirstFitConfig(memhier.LayerDRAM)
+	cfg.General.ChunkBytes = 2 * 1024
+	cfg.General.MaxBytes = 4 * 1024
+	return cfg
+}
+
+func TestReplayerMatchesReferenceOOM(t *testing.T) {
+	tr := oomTrace()
+	ct, err := trace.Compile(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := memhier.EmbeddedSoC()
+	cfg := oomConfig()
+	opts := Options{SampleEvery: 2}
+	want, err := referenceRun(tr, cfg, h, opts)
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	if want.Failures == 0 {
+		t.Fatal("oom trace did not trigger an allocation failure")
+	}
+	got, err := NewReplayer().Run(ct, cfg, h, opts)
+	if err != nil {
+		t.Fatalf("replayer: %v", err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("compiled replay diverges on failed allocations\nwant %+v\ngot  %+v", want, got)
+	}
+}
+
+// TestSeriesMatchesPerLayerRecompute pins the sampling optimisation: the
+// Series values produced from the context's running reserved-bytes total
+// must equal a per-layer recomputation at every sample point.
+func TestSeriesMatchesPerLayerRecompute(t *testing.T) {
+	p := workload.DefaultSyntheticParams()
+	p.Ops = 2000
+	tr, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := trace.Compile(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := memhier.EmbeddedSoC()
+	cfg := alloc.LeaConfig(memhier.LayerDRAM)
+	opts := Options{SampleEvery: 50}
+	want, err := referenceRun(tr, cfg, h, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewReplayer().Run(ct, cfg, h, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Series) == 0 {
+		t.Fatal("no samples collected")
+	}
+	if !reflect.DeepEqual(want.Series, got.Series) {
+		t.Errorf("series diverges\nwant %+v\ngot  %+v", want.Series, got.Series)
+	}
+}
+
+// TestReplaySteadyStateZeroAllocs is the hot-path guard: once the
+// allocator and the Replayer's scratch tables are warm, replaying a
+// compiled trace performs no Go heap allocations at all. The trace ends
+// with FreeAll, so the same allocator instance can replay it repeatedly.
+func TestReplaySteadyStateZeroAllocs(t *testing.T) {
+	p := workload.DefaultEasyportParams()
+	p.Packets = 200
+	tr, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := trace.Compile(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := memhier.EmbeddedSoC()
+	for _, cfg := range presetConfigs() {
+		ctx := simheap.NewContext(h)
+		a, err := cfg.Build(ctx)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Label, err)
+		}
+		r := NewReplayer()
+		// Warm pass: arenas grow, maps and scratch tables size themselves.
+		r.reset(ct.NumIDs)
+		var warm Metrics
+		if err := r.replay(ct, a, ctx, &warm, 0); err != nil {
+			t.Fatalf("%s: warm replay: %v", cfg.Label, err)
+		}
+		avg := testing.AllocsPerRun(5, func() {
+			r.reset(ct.NumIDs)
+			var m Metrics
+			if err := r.replay(ct, a, ctx, &m, 0); err != nil {
+				t.Errorf("%s: replay: %v", cfg.Label, err)
+			}
+		})
+		if avg != 0 {
+			t.Errorf("%s: steady-state replay allocates %.1f times per run, want 0", cfg.Label, avg)
+		}
+	}
+}

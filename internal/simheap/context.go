@@ -47,6 +47,21 @@ type Context struct {
 	nextBase []uint64 // per-layer bump pointer for region bases
 	cycles   uint64
 
+	// readCycles/writeCycles cache each layer's flat access latency so the
+	// hot path never copies a Layer struct out of the hierarchy.
+	readCycles  []uint64
+	writeCycles []uint64
+
+	// fast is true while no tracer, cache or row buffer is attached — the
+	// common exploration case — and gates a batched access path that pays
+	// the model-dispatch branch chain once per charge, not once per word.
+	fast bool
+
+	// totalReserved is the running sum of all layers' ReservedBytes,
+	// maintained by Reserve/Release so footprint-over-time sampling is
+	// O(1) instead of a per-sample layer loop.
+	totalReserved int64
+
 	// caches, when non-nil, interposes a cache in front of the layer with
 	// the same index; accesses then additionally charge the backing layer
 	// on misses. Entries may be nil (no cache for that layer).
@@ -74,20 +89,47 @@ type AccessTracer interface {
 
 // NewContext returns a fresh context over h.
 func NewContext(h *memhier.Hierarchy) *Context {
-	return &Context{
-		hier:     h,
-		counters: make([]LayerCounters, h.NumLayers()),
-		nextBase: make([]uint64, h.NumLayers()),
-		caches:   make([]*memhier.Cache, h.NumLayers()),
-		rowbufs:  make([]*memhier.RowBuffer, h.NumLayers()),
+	n := h.NumLayers()
+	ctx := &Context{
+		hier:        h,
+		counters:    make([]LayerCounters, n),
+		nextBase:    make([]uint64, n),
+		caches:      make([]*memhier.Cache, n),
+		rowbufs:     make([]*memhier.RowBuffer, n),
+		readCycles:  make([]uint64, n),
+		writeCycles: make([]uint64, n),
+		fast:        true,
 	}
+	for i := 0; i < n; i++ {
+		layer := h.Layer(memhier.LayerID(i))
+		ctx.readCycles[i] = uint64(layer.ReadCycles)
+		ctx.writeCycles[i] = uint64(layer.WriteCycles)
+	}
+	return ctx
 }
 
 // Hierarchy returns the hierarchy the context simulates.
 func (ctx *Context) Hierarchy() *memhier.Hierarchy { return ctx.hier }
 
 // SetTracer installs (or clears, with nil) an access tracer.
-func (ctx *Context) SetTracer(t AccessTracer) { ctx.trace = t }
+func (ctx *Context) SetTracer(t AccessTracer) {
+	ctx.trace = t
+	ctx.updateFast()
+}
+
+// updateFast recomputes whether the batched no-model access path applies.
+func (ctx *Context) updateFast() {
+	ctx.fast = ctx.trace == nil
+	if !ctx.fast {
+		return
+	}
+	for i := range ctx.caches {
+		if ctx.caches[i] != nil || ctx.rowbufs[i] != nil {
+			ctx.fast = false
+			return
+		}
+	}
+}
 
 // AttachCache interposes a cache in front of layer id. Accesses to that
 // layer then hit the cache; misses charge the layer itself for the line
@@ -99,6 +141,7 @@ func (ctx *Context) AttachCache(id memhier.LayerID, c *memhier.Cache) error {
 		return fmt.Errorf("simheap: invalid layer %d", id)
 	}
 	ctx.caches[id] = c
+	ctx.updateFast()
 	return nil
 }
 
@@ -121,6 +164,7 @@ func (ctx *Context) AttachRowBuffer(id memhier.LayerID, rb *memhier.RowBuffer) e
 		return fmt.Errorf("simheap: invalid layer %d", id)
 	}
 	ctx.rowbufs[id] = rb
+	ctx.updateFast()
 	return nil
 }
 
@@ -139,11 +183,21 @@ func (ctx *Context) Compute(n uint64) { ctx.cycles += n }
 
 // Read charges words word-reads at addr to layer id.
 func (ctx *Context) Read(id memhier.LayerID, addr uint64, words uint64) {
+	if ctx.fast {
+		ctx.counters[id].Reads += words
+		ctx.cycles += ctx.readCycles[id] * words
+		return
+	}
 	ctx.access(id, addr, words, false)
 }
 
 // Write charges words word-writes at addr to layer id.
 func (ctx *Context) Write(id memhier.LayerID, addr uint64, words uint64) {
+	if ctx.fast {
+		ctx.counters[id].Writes += words
+		ctx.cycles += ctx.writeCycles[id] * words
+		return
+	}
 	ctx.access(id, addr, words, true)
 }
 
@@ -226,6 +280,7 @@ func (ctx *Context) Reserve(id memhier.LayerID, size int64) (*Region, error) {
 	base := ctx.nextBase[id]
 	ctx.nextBase[id] += uint64(size)
 	c.ReservedBytes += size
+	ctx.totalReserved += size
 	if c.ReservedBytes > c.PeakBytes {
 		c.PeakBytes = c.ReservedBytes
 	}
@@ -247,14 +302,9 @@ func (ctx *Context) TotalPeakBytes() int64 {
 
 // TotalReservedBytes returns the bytes currently reserved across all
 // layers — the instantaneous footprint the profiler samples for
-// footprint-over-time series.
-func (ctx *Context) TotalReservedBytes() int64 {
-	var total int64
-	for i := range ctx.counters {
-		total += ctx.counters[i].ReservedBytes
-	}
-	return total
-}
+// footprint-over-time series. It is O(1): Reserve and Release maintain
+// the running total.
+func (ctx *Context) TotalReservedBytes() int64 { return ctx.totalReserved }
 
 // TotalAccesses returns reads+writes summed over all layers.
 func (ctx *Context) TotalAccesses() uint64 {
@@ -339,4 +389,5 @@ func (r *Region) Release() {
 	}
 	r.released = true
 	r.ctx.counters[r.layer].ReservedBytes -= r.size
+	r.ctx.totalReserved -= r.size
 }

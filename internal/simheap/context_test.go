@@ -320,3 +320,84 @@ func TestRowBufferCheaperThanFlatForSequential(t *testing.T) {
 		t.Fatalf("open-page not cheaper: %v vs %v", open.Energy(), flat.Energy())
 	}
 }
+
+// TestTotalReservedRunningTotal pins the O(1) running total to the
+// per-layer recomputation across a reserve/release sequence.
+func TestTotalReservedRunningTotal(t *testing.T) {
+	ctx := NewContext(testHier(t))
+	sum := func() int64 {
+		var total int64
+		for i := 0; i < ctx.Hierarchy().NumLayers(); i++ {
+			total += ctx.Counters(memhier.LayerID(i)).ReservedBytes
+		}
+		return total
+	}
+	var regions []*Region
+	for i, size := range []int64{400, 2048, 128, 64} {
+		r, err := ctx.Reserve(memhier.LayerID(i%2), size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		regions = append(regions, r)
+		if got, want := ctx.TotalReservedBytes(), sum(); got != want {
+			t.Fatalf("after reserve %d: running total %d, recomputed %d", i, got, want)
+		}
+	}
+	for i, r := range regions {
+		r.Release()
+		if got, want := ctx.TotalReservedBytes(), sum(); got != want {
+			t.Fatalf("after release %d: running total %d, recomputed %d", i, got, want)
+		}
+	}
+	if ctx.TotalReservedBytes() != 0 {
+		t.Fatalf("non-zero total %d after releasing everything", ctx.TotalReservedBytes())
+	}
+}
+
+// countingTracer forces the slow access path while observing nothing.
+type countingTracer struct{ n int }
+
+func (c *countingTracer) TraceAccess(memhier.LayerID, uint64, uint64, bool) { c.n++ }
+
+// TestFastPathMatchesSlowPath replays the same charge sequence through
+// the batched fast path and the traced slow path: all counters and the
+// clock must agree (the tracer itself has no model effect).
+func TestFastPathMatchesSlowPath(t *testing.T) {
+	charge := func(ctx *Context) {
+		ctx.Read(0, 0, 3)
+		ctx.Write(0, 8, 2)
+		ctx.Read(1, 16, 7)
+		ctx.Write(1, 0, 1)
+		ctx.Read(1, 0, 0)
+		ctx.Compute(5)
+	}
+	fast := NewContext(testHier(t))
+	charge(fast)
+
+	slow := NewContext(testHier(t))
+	tr := &countingTracer{}
+	slow.SetTracer(tr)
+	charge(slow)
+
+	for i := 0; i < 2; i++ {
+		if fast.Counters(memhier.LayerID(i)) != slow.Counters(memhier.LayerID(i)) {
+			t.Fatalf("layer %d counters diverge: %+v vs %+v",
+				i, fast.Counters(memhier.LayerID(i)), slow.Counters(memhier.LayerID(i)))
+		}
+	}
+	if fast.Cycles() != slow.Cycles() {
+		t.Fatalf("cycles diverge: %d vs %d", fast.Cycles(), slow.Cycles())
+	}
+	if fast.Energy() != slow.Energy() {
+		t.Fatalf("energy diverges: %v vs %v", fast.Energy(), slow.Energy())
+	}
+	if tr.n != 4 { // one TraceAccess per non-empty charge
+		t.Fatalf("tracer saw %d accesses", tr.n)
+	}
+	// Clearing the tracer restores the fast path.
+	slow.SetTracer(nil)
+	slow.Read(0, 0, 1)
+	if tr.n != 4 {
+		t.Fatal("tracer still active after SetTracer(nil)")
+	}
+}

@@ -1,0 +1,126 @@
+package trace
+
+import "fmt"
+
+// Op is one compiled trace operation. Compared to Event, allocation IDs
+// are renumbered into the dense [0..NumIDs) range so replay state fits in
+// flat tables instead of maps, and Free carries the size being released
+// (resolved at compile time) so the replayer never tracks request sizes.
+type Op struct {
+	Kind EventKind
+	ID   uint32 // dense allocation index (Alloc/Free/Access)
+	Size int64  // Alloc: requested bytes; Free: bytes being released
+
+	Reads  uint64 // Access
+	Writes uint64 // Access
+	Cycles uint64 // Tick
+}
+
+// Compiled is a trace preprocessed for replay: validated, densely
+// renumbered and annotated with the counts a replayer needs to pre-size
+// every buffer. One Compiled trace is built per exploration and shared
+// read-only by all workers.
+type Compiled struct {
+	Name string
+	Ops  []Op
+
+	// NumIDs is the dense allocation-ID space: every Op.ID is < NumIDs.
+	NumIDs int
+
+	// Per-kind event counts, for buffer pre-sizing.
+	Allocs   int
+	Frees    int
+	Accesses int
+	Ticks    int
+
+	// PeakLive is the maximum number of simultaneously live allocations.
+	PeakLive int
+
+	// PeakRequestedBytes is the workload's peak live demand — a pure
+	// function of the trace, so it is computed once here instead of per
+	// replay.
+	PeakRequestedBytes int64
+}
+
+// Len returns the number of compiled operations (identical to the source
+// trace's event count; Ops[i] corresponds to Events[i]).
+func (c *Compiled) Len() int { return len(c.Ops) }
+
+// Compile validates t and builds its compiled representation. The
+// returned Compiled is immutable and safe for concurrent replay.
+func Compile(t *Trace) (*Compiled, error) {
+	c := &Compiled{
+		Name: t.Name,
+		Ops:  make([]Op, len(t.Events)),
+	}
+	// dense maps original IDs to dense indices; size holds the requested
+	// bytes of the live allocation so Free ops can carry it.
+	dense := make(map[uint64]uint32, 64)
+	size := make([]int64, 0, 64)
+	live := make([]bool, 0, 64)
+	var liveCount, liveBytes int64
+	for i, e := range t.Events {
+		op := Op{Kind: e.Kind}
+		switch e.Kind {
+		case KindAlloc:
+			if e.Size <= 0 {
+				return nil, fmt.Errorf("trace %s: event %d: alloc %d with size %d", t.Name, i, e.ID, e.Size)
+			}
+			if idx, seen := dense[e.ID]; seen {
+				if live[idx] {
+					return nil, fmt.Errorf("trace %s: event %d: id %d allocated twice", t.Name, i, e.ID)
+				}
+				return nil, fmt.Errorf("trace %s: event %d: id %d reused after free", t.Name, i, e.ID)
+			}
+			idx := uint32(len(size))
+			dense[e.ID] = idx
+			size = append(size, e.Size)
+			live = append(live, true)
+			op.ID = idx
+			op.Size = e.Size
+			c.Allocs++
+			liveCount++
+			if int(liveCount) > c.PeakLive {
+				c.PeakLive = int(liveCount)
+			}
+			liveBytes += e.Size
+			if liveBytes > c.PeakRequestedBytes {
+				c.PeakRequestedBytes = liveBytes
+			}
+		case KindFree:
+			idx, seen := dense[e.ID]
+			if !seen || !live[idx] {
+				return nil, fmt.Errorf("trace %s: event %d: free of dead id %d", t.Name, i, e.ID)
+			}
+			live[idx] = false
+			op.ID = idx
+			op.Size = size[idx]
+			c.Frees++
+			liveCount--
+			liveBytes -= size[idx]
+		case KindAccess:
+			idx, seen := dense[e.ID]
+			if !seen || !live[idx] {
+				return nil, fmt.Errorf("trace %s: event %d: access to dead id %d", t.Name, i, e.ID)
+			}
+			if e.Reads == 0 && e.Writes == 0 {
+				return nil, fmt.Errorf("trace %s: event %d: empty access", t.Name, i)
+			}
+			op.ID = idx
+			op.Reads = e.Reads
+			op.Writes = e.Writes
+			c.Accesses++
+		case KindTick:
+			if e.Cycles == 0 {
+				return nil, fmt.Errorf("trace %s: event %d: zero tick", t.Name, i)
+			}
+			op.Cycles = e.Cycles
+			c.Ticks++
+		default:
+			return nil, fmt.Errorf("trace %s: event %d: unknown kind %d", t.Name, i, e.Kind)
+		}
+		c.Ops[i] = op
+	}
+	c.NumIDs = len(size)
+	return c, nil
+}

@@ -7,7 +7,10 @@
 // configuration is profiled against the byte-identical event sequence.
 package trace
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // EventKind discriminates trace events.
 type EventKind uint8
@@ -172,13 +175,7 @@ func (b *Builder) NumLive() int { return len(b.live) }
 // so traces end with an empty heap.
 func (b *Builder) FreeAll() {
 	ids := b.Live()
-	// Sort ascending without importing sort for one call-site: insertion
-	// sort is fine at the sizes generators leave live.
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
-	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
 		b.Free(id)
 	}
