@@ -22,3 +22,10 @@ race:
 .PHONY: bench-replay
 bench-replay:
 	$(GO) run scripts/benchreplay.go
+
+# bench-telemetry compares the instrumented steady-state replay loop
+# (telemetry shard attached, as Runner workers run it) against the plain
+# one. The overhead budget is <2%; benchreplay.go computes the ratio.
+.PHONY: bench-telemetry
+bench-telemetry:
+	$(GO) test ./internal/profile/ -run '^$$' -bench 'BenchmarkReplay(Easyport|Telemetry)' -benchtime 2s -benchmem

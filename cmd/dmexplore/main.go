@@ -16,6 +16,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -24,6 +25,7 @@ import (
 	"dmexplore/internal/pareto"
 	"dmexplore/internal/profile"
 	"dmexplore/internal/report"
+	"dmexplore/internal/telemetry"
 	"dmexplore/internal/trace"
 	"dmexplore/internal/workload"
 )
@@ -54,6 +56,7 @@ func run(args []string, out io.Writer) error {
 		cachePath    = fs.String("cache", "", "results cache file: resume interrupted sweeps, skip repeated configurations")
 		tracePath    = fs.String("trace", "", "replay a trace file instead of generating the workload")
 		quiet        = fs.Bool("quiet", false, "suppress progress output")
+		metricsAddr  = fs.String("metrics-addr", "", "serve live telemetry (expvar) and pprof at this address, e.g. localhost:6060")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -132,13 +135,27 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	runner := &core.Runner{Hierarchy: hier, Trace: tr, Compiled: ct, Workers: *workers}
+	workerN := *workers
+	if workerN <= 0 {
+		workerN = runtime.GOMAXPROCS(0)
+	}
+	col := telemetry.NewCollector(workerN)
+	runner := &core.Runner{Hierarchy: hier, Trace: tr, Compiled: ct, Workers: *workers, Telemetry: col}
+	if *metricsAddr != "" {
+		srv, err := telemetry.Serve(*metricsAddr, col)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(out, "metrics    http://%s/debug/vars (pprof at /debug/pprof/)\n", srv.Addr)
+	}
 	if *cachePath != "" {
 		cache, err := core.OpenResultsCache(*cachePath)
 		if err != nil {
 			return err
 		}
 		runner.Cache = cache
+		col.AddCacheStale(cache.Stats().Stale)
 		fmt.Fprintf(out, "cache      %s (%d entries)\n", *cachePath, cache.Len())
 		defer func() {
 			if err := cache.Save(); err != nil {
@@ -146,23 +163,25 @@ func run(args []string, out io.Writer) error {
 			}
 		}()
 	}
+	var journal *telemetry.Journal
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+		journal, err = telemetry.CreateJournal(filepath.Join(*outDir, "journal.jsonl"))
+		if err != nil {
+			return err
+		}
+		defer journal.Close()
+		// The journal is the sweep's flight recorder: one line per
+		// configuration, appended as workers complete them, so an
+		// interrupted run still explains itself.
+		runner.Observer = func(res core.Result) {
+			_ = journal.Record(res.JournalRecord())
+		}
+	}
 	if !*quiet {
-		total := space.Size()
-		if *sample > 0 && *sample < total {
-			total = *sample
-		}
-		step := total / 20
-		if step == 0 {
-			step = 1
-		}
-		runner.Progress = func(done, totalN int) {
-			if done%step == 0 || done == totalN {
-				fmt.Fprintf(out, "\r  profiled %d/%d", done, totalN)
-				if done == totalN {
-					fmt.Fprintln(out)
-				}
-			}
-		}
+		runner.Progress = telemetry.NewProgress(out, col, 0).Update
 	}
 
 	start := time.Now()
@@ -204,6 +223,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	elapsed := time.Since(start)
+	snap := col.Snapshot()
 
 	feasible := core.Feasible(results)
 	front, points, err := core.ParetoSet(feasible, objs)
@@ -213,6 +233,7 @@ func run(args []string, out io.Writer) error {
 
 	fmt.Fprintf(out, "\nexplored %d configurations in %v (%d feasible)\n",
 		len(results), elapsed.Round(time.Millisecond), len(feasible))
+	fmt.Fprintf(out, "telemetry  %s\n", snap)
 	for _, obj := range objs {
 		r, err := core.Range(feasible, obj)
 		if err != nil {
@@ -259,6 +280,36 @@ func run(args []string, out io.Writer) error {
 
 	if *outDir != "" {
 		if err := writeReports(*outDir, space, results, feasible, front, objs); err != nil {
+			return err
+		}
+		journalRecords := journal.Len()
+		if err := journal.Close(); err != nil {
+			return fmt.Errorf("closing journal: %w", err)
+		}
+		sum := telemetry.RunSummary{
+			Tool:           "dmexplore",
+			Workload:       tr.Name,
+			Space:          space.Name,
+			Strategy:       *strategy,
+			Objectives:     objs,
+			Configurations: len(results),
+			Feasible:       len(feasible),
+			ParetoFront:    len(front),
+			JournalRecords: journalRecords,
+			ElapsedSec:     elapsed.Seconds(),
+			Telemetry:      snap,
+		}
+		if runner.Cache != nil {
+			cs := runner.Cache.Stats()
+			sum.Cache = &telemetry.CacheSummary{
+				Path:    *cachePath,
+				Entries: runner.Cache.Len(),
+				Hits:    cs.Hits,
+				Misses:  cs.Misses,
+				Stale:   cs.Stale,
+			}
+		}
+		if err := telemetry.WriteRunSummary(filepath.Join(*outDir, "run-summary.json"), sum); err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "\nreports written to %s\n", *outDir)

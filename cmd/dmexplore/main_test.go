@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"dmexplore/internal/telemetry"
 )
 
 func TestRunSmallExploration(t *testing.T) {
@@ -106,5 +108,117 @@ func TestRunErrors(t *testing.T) {
 		if err := run(append(args, "-quiet"), &out); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
+	}
+}
+
+// TestRunJournalAndSummary pins the acceptance contract: a -out run
+// emits a parseable JSONL journal plus a run-summary.json whose
+// per-configuration count and cache-hit totals match the sweep exactly —
+// across a cold and a fully cached run.
+func TestRunJournalAndSummary(t *testing.T) {
+	dir := t.TempDir()
+	cache := filepath.Join(dir, "cache.jsonl")
+	runOnce := func(out string) {
+		t.Helper()
+		var buf bytes.Buffer
+		err := run([]string{
+			"-workload", "easyport", "-scale", "5", "-quiet",
+			"-sample", "24", "-out", out, "-cache", cache,
+		}, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cold := filepath.Join(dir, "cold")
+	runOnce(cold)
+	f, err := os.Open(filepath.Join(cold, "journal.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := telemetry.ReadJournal(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 24 {
+		t.Fatalf("cold journal has %d records", len(recs))
+	}
+	sum, err := telemetry.ReadRunSummary(filepath.Join(cold, "run-summary.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Configurations != 24 || sum.JournalRecords != 24 {
+		t.Fatalf("cold summary: %+v", sum)
+	}
+	if sum.Telemetry.CacheHits != 0 || sum.Cache == nil || sum.Cache.Hits != 0 {
+		t.Fatalf("cold summary cache: %+v %+v", sum.Telemetry, sum.Cache)
+	}
+	if got := int(sum.Telemetry.Sims + sum.Telemetry.CacheHits + sum.Telemetry.MemoHits); got != 24 {
+		t.Fatalf("cold sweep unaccounted: %+v", sum.Telemetry)
+	}
+
+	warm := filepath.Join(dir, "warm")
+	runOnce(warm)
+	f, err = os.Open(filepath.Join(warm, "journal.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err = telemetry.ReadJournal(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for _, r := range recs {
+		if r.CacheHit {
+			hits++
+		}
+	}
+	sum, err = telemetry.ReadRunSummary(filepath.Join(warm, "run-summary.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits != 24 || sum.Telemetry.CacheHits != 24 || sum.Cache.Hits != 24 {
+		t.Fatalf("warm run: journal hits %d, telemetry %+v, cache %+v",
+			hits, sum.Telemetry, sum.Cache)
+	}
+	if sum.Telemetry.Sims != 0 {
+		t.Fatalf("warm run simulated: %+v", sum.Telemetry)
+	}
+}
+
+// TestRunMetricsAddr boots the expvar/pprof endpoint on an ephemeral
+// port and requires its address in the tool output.
+func TestRunMetricsAddr(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-workload", "easyport", "-scale", "5", "-quiet",
+		"-sample", "8", "-metrics-addr", "127.0.0.1:0",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "/debug/vars") {
+		t.Fatalf("metrics address not announced:\n%s", out.String())
+	}
+}
+
+// TestRunProgressLine checks the rewritten reporter: a non-quiet run
+// ends with a complete final progress line.
+func TestRunProgressLine(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-workload", "easyport", "-scale", "5", "-sample", "16",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "profiled 16/16 (100%)") {
+		t.Fatalf("final progress line missing:\n%s", s)
+	}
+	if !strings.Contains(s, "telemetry") {
+		t.Fatalf("telemetry summary missing:\n%s", s)
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"dmexplore/internal/memhier"
 	"dmexplore/internal/profile"
 	"dmexplore/internal/report"
+	"dmexplore/internal/telemetry"
 	"dmexplore/internal/trace"
 	"dmexplore/internal/workload"
 )
@@ -46,6 +47,7 @@ func run(args []string, out io.Writer) error {
 		cacheSpec    = fs.String("cache", "", "attach a cache to DRAM: sizeWords:lineWords:ways")
 		seriesPath   = fs.String("series", "", "write a footprint-over-time .dat to this file")
 		emitJSON     = fs.Bool("json", false, "emit metrics as JSON")
+		metricsAddr  = fs.String("metrics-addr", "", "serve live telemetry (expvar) and pprof at this address")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -92,14 +94,26 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
+	col := telemetry.NewCollector(1)
+	if *metricsAddr != "" {
+		srv, err := telemetry.Serve(*metricsAddr, col)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(out, "metrics     http://%s/debug/vars (pprof at /debug/pprof/)\n", srv.Addr)
+	}
 	ct, err := trace.Compile(tr)
 	if err != nil {
 		return err
 	}
-	m, err := profile.NewReplayer().Run(ct, cfg, hier, opts)
+	rep := profile.NewReplayer()
+	rep.Shard = col.Shard(0)
+	m, err := rep.Run(ct, cfg, hier, opts)
 	if err != nil {
 		return err
 	}
+	snap := col.Snapshot()
 	if *seriesPath != "" {
 		f, err := os.Create(*seriesPath)
 		if err != nil {
@@ -138,7 +152,13 @@ func run(args []string, out io.Writer) error {
 	for _, lm := range m.PerLayer {
 		fmt.Fprintf(out, "%-16s %12d %12d %12d\n", lm.Name, lm.Reads, lm.Writes, lm.PeakBytes)
 	}
-	fmt.Fprintf(out, "\naccesses    %d\n", m.Accesses)
+	eventsPerSec := 0.0
+	if snap.SimSecTotal > 0 {
+		eventsPerSec = float64(snap.Events) / snap.SimSecTotal
+	}
+	fmt.Fprintf(out, "\nreplay      %d events in %.1fms (%.3g events/s)\n",
+		snap.Events, snap.SimSecTotal*1e3, eventsPerSec)
+	fmt.Fprintf(out, "accesses    %d\n", m.Accesses)
 	fmt.Fprintf(out, "footprint   %d bytes (%.2fx peak demand of %d)\n",
 		m.FootprintBytes, m.FootprintOverhead(), m.PeakRequestedBytes)
 	fmt.Fprintf(out, "energy      %.1f uJ\n", m.EnergyNJ/1000)

@@ -115,3 +115,27 @@ func TestErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestReplayTelemetryLine(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-workload", "easyport", "-scale", "5", "-preset", "lea"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "replay      ") ||
+		!strings.Contains(out.String(), "events/s") {
+		t.Fatalf("replay telemetry line missing:\n%s", out.String())
+	}
+}
+
+func TestMetricsAddr(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-workload", "easyport", "-scale", "5", "-preset", "lea",
+		"-metrics-addr", "127.0.0.1:0"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "/debug/vars") {
+		t.Fatalf("metrics address not announced:\n%s", out.String())
+	}
+}

@@ -8,6 +8,7 @@
 //
 //	dmreport -in results/results.csv -axes 7
 //	dmreport -in results/results.csv -axes 7 -objectives energy,cycles -out rep/
+//	dmreport -journal results/journal.jsonl
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 
 	"dmexplore/internal/core"
 	"dmexplore/internal/report"
+	"dmexplore/internal/telemetry"
 )
 
 func main() {
@@ -32,17 +34,21 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("dmreport", flag.ContinueOnError)
 	var (
-		inPath     = fs.String("in", "", "results CSV written by dmexplore (required)")
-		axes       = fs.Int("axes", 0, "number of leading axis-label columns in the CSV (required)")
-		objectives = fs.String("objectives", "accesses,footprint", "comma-separated minimization objectives")
-		outDir     = fs.String("out", "", "directory for regenerated reports (none when empty)")
-		title      = fs.String("title", "dmreport", "report title")
+		inPath      = fs.String("in", "", "results CSV written by dmexplore (required unless -journal)")
+		journalPath = fs.String("journal", "", "summarize a journal.jsonl written by dmexplore instead of a results CSV")
+		axes        = fs.Int("axes", 0, "number of leading axis-label columns in the CSV (required)")
+		objectives  = fs.String("objectives", "accesses,footprint", "comma-separated minimization objectives")
+		outDir      = fs.String("out", "", "directory for regenerated reports (none when empty)")
+		title       = fs.String("title", "dmreport", "report title")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *journalPath != "" {
+		return summarizeJournal(out, *journalPath)
+	}
 	if *inPath == "" {
-		return fmt.Errorf("need -in results.csv")
+		return fmt.Errorf("need -in results.csv (or -journal journal.jsonl)")
 	}
 	if *axes <= 0 {
 		return fmt.Errorf("need -axes (the CSV's leading label column count)")
@@ -140,5 +146,31 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(out, "reports written to %s\n", *outDir)
+	return nil
+}
+
+// summarizeJournal digests a run journal: where the sweep's time went,
+// what the cache did, which configurations failed and which were slow.
+func summarizeJournal(out io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	recs, err := telemetry.ReadJournal(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	d := telemetry.Digest(recs)
+	fmt.Fprintf(out, "journal    %s: %d configurations\n", path, d.Records)
+	fmt.Fprintf(out, "  cache    %d hits, %d memo hits\n", d.CacheHits, d.MemoHits)
+	fmt.Fprintf(out, "  time     %.2fs total worker time, slowest #%d at %.2fms\n",
+		d.TotalSec, d.MaxIndex, d.MaxMS)
+	fmt.Fprintf(out, "  outcome  %d errors, %d infeasible\n", d.Errors, d.Infeasible)
+	for _, r := range recs {
+		if r.Error != "" {
+			fmt.Fprintf(out, "    #%-6d %s\n", r.Index, r.Error)
+		}
+	}
 	return nil
 }

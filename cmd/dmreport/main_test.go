@@ -10,6 +10,7 @@ import (
 	"dmexplore/internal/core"
 	"dmexplore/internal/profile"
 	"dmexplore/internal/report"
+	"dmexplore/internal/telemetry"
 )
 
 func writeSampleCSV(t *testing.T) string {
@@ -86,5 +87,38 @@ func TestReportErrors(t *testing.T) {
 		if err := run(args, &out); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
+	}
+}
+
+func TestJournalSummary(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := telemetry.NewJournal(f)
+	j.Record(telemetry.Record{Index: 0, Labels: []string{"a", "b"}, DurationMS: 1.5, Accesses: 10})
+	j.Record(telemetry.Record{Index: 3, Labels: []string{"c", "d"}, DurationMS: 4.5, CacheHit: true})
+	j.Record(telemetry.Record{Index: 7, Error: "configuration 7 [x y]: boom"})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if err := run([]string{"-journal", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"3 configurations", "1 hits", "1 errors", "slowest #3", "boom"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("journal summary lacks %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestJournalSummaryMissingFile(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-journal", "/nonexistent/journal.jsonl"}, &out); err == nil {
+		t.Fatal("missing journal accepted")
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"dmexplore/internal/memhier"
 	"dmexplore/internal/profile"
@@ -28,10 +29,25 @@ type ResultsCache struct {
 	mu      sync.Mutex
 	entries map[string]*profile.Metrics
 	dirty   bool
+
+	// Accounting, atomically updated so Stats can be read while an
+	// exploration's workers are hitting the cache concurrently.
+	hits   atomic.Uint64 // Get found the key
+	misses atomic.Uint64 // Get found nothing
+	stale  atomic.Uint64 // entries dropped at load (version skew) or superseded by Put
+	loaded uint64        // entries read from disk at open
 }
+
+// cacheVersion is the on-disk schema version. Entries recorded under a
+// different version are dropped at load and counted as stale instead of
+// poisoning a sweep with results whose semantics have drifted. Entries
+// with no version field (seed-era caches) predate the versioning and are
+// accepted as current.
+const cacheVersion = 1
 
 // cacheEntry is the on-disk record.
 type cacheEntry struct {
+	Version int              `json:"v,omitempty"`
 	Key     string           `json:"key"`
 	Metrics *profile.Metrics `json:"metrics"`
 }
@@ -64,7 +80,13 @@ func OpenResultsCache(path string) (*ResultsCache, error) {
 		if e.Key == "" || e.Metrics == nil {
 			return nil, fmt.Errorf("core: cache %s line %d: incomplete entry", path, line)
 		}
+		if e.Version != 0 && e.Version != cacheVersion {
+			c.stale.Add(1)
+			c.dirty = true // dropping stale entries rewrites the file on Save
+			continue
+		}
 		c.entries[e.Key] = e.Metrics
+		c.loaded++
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -89,13 +111,22 @@ func (c *ResultsCache) Get(key string) (*profile.Metrics, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	m, ok := c.entries[key]
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
 	return m, ok
 }
 
-// Put stores metrics under key.
+// Put stores metrics under key. Overwriting an existing entry counts the
+// old one as stale (it was superseded by a recomputation).
 func (c *ResultsCache) Put(key string, m *profile.Metrics) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if old, ok := c.entries[key]; ok && old != m {
+		c.stale.Add(1)
+	}
 	c.entries[key] = m
 	c.dirty = true
 }
@@ -105,6 +136,26 @@ func (c *ResultsCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.entries)
+}
+
+// CacheStats is the cache's own accounting: lookup outcomes since open,
+// plus entries loaded from disk and entries that went stale.
+type CacheStats struct {
+	Hits   uint64 // Get found the key
+	Misses uint64 // Get found nothing
+	Stale  uint64 // dropped at load or superseded by Put
+	Loaded uint64 // entries read from disk at open
+}
+
+// Stats returns a snapshot of the accounting. Safe to call while an
+// exploration is using the cache.
+func (c *ResultsCache) Stats() CacheStats {
+	return CacheStats{
+		Hits:   c.hits.Load(),
+		Misses: c.misses.Load(),
+		Stale:  c.stale.Load(),
+		Loaded: c.loaded,
+	}
 }
 
 // Save writes the cache atomically (write temp, rename). A clean cache is
@@ -141,7 +192,7 @@ func (c *ResultsCache) writeAll(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	for key, m := range c.entries {
-		if err := enc.Encode(cacheEntry{Key: key, Metrics: m}); err != nil {
+		if err := enc.Encode(cacheEntry{Version: cacheVersion, Key: key, Metrics: m}); err != nil {
 			return err
 		}
 	}

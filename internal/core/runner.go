@@ -3,12 +3,15 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dmexplore/internal/memhier"
 	"dmexplore/internal/profile"
 	"dmexplore/internal/stats"
+	"dmexplore/internal/telemetry"
 	"dmexplore/internal/trace"
 )
 
@@ -18,6 +21,38 @@ type Result struct {
 	Labels  []string // per-axis option labels
 	Metrics *profile.Metrics
 	Err     error
+
+	// Duration is the wall time this configuration occupied a worker,
+	// simulation or cache lookup included.
+	Duration time.Duration
+	// CacheHit marks a configuration served from the results cache.
+	CacheHit bool
+	// MemoHit marks a configuration served from the in-run duplicate
+	// memo (axis combinations collapsing to the same canonical config).
+	MemoHit bool
+}
+
+// JournalRecord converts the result to its run-journal form.
+func (r Result) JournalRecord() telemetry.Record {
+	rec := telemetry.Record{
+		Index:      r.Index,
+		Labels:     r.Labels,
+		DurationMS: float64(r.Duration.Nanoseconds()) / 1e6,
+		CacheHit:   r.CacheHit,
+		MemoHit:    r.MemoHit,
+	}
+	if r.Err != nil {
+		rec.Error = r.Err.Error()
+		return rec
+	}
+	if m := r.Metrics; m != nil {
+		rec.Accesses = m.Accesses
+		rec.FootprintBytes = m.FootprintBytes
+		rec.EnergyNJ = m.EnergyNJ
+		rec.Cycles = m.Cycles
+		rec.Failures = m.Failures
+	}
+	return rec
 }
 
 // Runner drives an exploration: one trace, one hierarchy, many
@@ -39,6 +74,17 @@ type Runner struct {
 	// completes with (done, total). Calls may arrive from multiple
 	// goroutines; implementations must be safe for concurrent use.
 	Progress func(done, total int)
+
+	// Observer, when non-nil, is called with every completed Result —
+	// the journaling hook. Calls arrive from multiple goroutines;
+	// implementations must be safe for concurrent use.
+	Observer func(Result)
+
+	// Telemetry, when non-nil, receives per-worker runtime metrics
+	// (simulation latency, events/sec, cache hits, errors, utilization).
+	// Search strategies issuing several run phases accumulate into the
+	// same collector.
+	Telemetry *telemetry.Collector
 
 	// Options are passed through to every profiling run.
 	Options profile.Options
@@ -102,6 +148,10 @@ func (r *Runner) run(space *Space, indices []int) ([]Result, error) {
 	if workers > len(indices) {
 		workers = len(indices)
 	}
+	col := r.Telemetry
+	if col == nil {
+		col = telemetry.NewCollector(workers)
+	}
 
 	results := make([]Result, len(indices))
 	// Work distribution and progress are lock-free: workers claim slots
@@ -119,22 +169,26 @@ func (r *Runner) run(space *Space, indices []int) ([]Result, error) {
 	var memoMu sync.Mutex
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			shard := col.Shard(w)
 			// One Replayer per worker: its scratch tables are sized on
 			// the first run and reused for every configuration after.
 			rep := profile.NewReplayer()
+			rep.Shard = shard
 			for {
 				slot := int(next.Add(1)) - 1
 				if slot >= len(indices) {
 					return
 				}
 
+				start := time.Now()
 				idx := indices[slot]
 				res := Result{Index: idx}
 				cfg, labels, err := space.Config(idx)
 				if err != nil {
-					res.Err = err
+					res.Err = fmt.Errorf("configuration %d: %w", idx, err)
+					shard.ConfigError()
 				} else {
 					res.Labels = labels
 					id := cfg.ID()
@@ -143,17 +197,30 @@ func (r *Runner) run(space *Space, indices []int) ([]Result, error) {
 					memoMu.Unlock()
 					if memoized != nil {
 						res.Metrics = memoized
+						res.MemoHit = true
+						shard.MemoHit()
 					}
 					key := ""
 					if res.Metrics == nil && r.Cache != nil {
 						key = CompiledCacheKey(id, ct, r.Hierarchy)
 						if m, ok := r.Cache.Get(key); ok {
 							res.Metrics = m
+							res.CacheHit = true
+							shard.CacheHit()
+						} else {
+							shard.CacheMiss()
 						}
 					}
 					if res.Metrics == nil {
 						res.Metrics, res.Err = rep.Run(ct, cfg, r.Hierarchy, r.Options)
-						if res.Err == nil && r.Cache != nil {
+						if res.Err != nil {
+							// Surface which configuration died, not just
+							// how: index and axis labels identify it in
+							// the space without a replay.
+							res.Err = fmt.Errorf("configuration %d [%s]: %w",
+								idx, strings.Join(labels, " "), res.Err)
+							shard.SimError()
+						} else if r.Cache != nil {
 							r.Cache.Put(key, res.Metrics)
 						}
 					}
@@ -163,19 +230,24 @@ func (r *Runner) run(space *Space, indices []int) ([]Result, error) {
 						memoMu.Unlock()
 					}
 				}
+				res.Duration = time.Since(start)
+				shard.AddBusy(res.Duration)
 				results[slot] = res
 
+				if r.Observer != nil {
+					r.Observer(res)
+				}
 				if r.Progress != nil {
 					r.Progress(int(done.Add(1)), len(indices))
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 
 	for _, res := range results {
 		if res.Err != nil {
-			return results, fmt.Errorf("core: configuration %d: %w", res.Index, res.Err)
+			return results, fmt.Errorf("core: %w", res.Err)
 		}
 	}
 	return results, nil

@@ -5,6 +5,7 @@ import (
 
 	"dmexplore/internal/alloc"
 	"dmexplore/internal/memhier"
+	"dmexplore/internal/telemetry"
 	"dmexplore/internal/trace"
 	"dmexplore/internal/workload"
 )
@@ -91,4 +92,49 @@ func BenchmarkReplayEasyport(b *testing.B) {
 func BenchmarkReplayVTC(b *testing.B) {
 	p := workload.DefaultVTCParams()
 	benchReplay(b, p)
+}
+
+// BenchmarkReplayTelemetry is the instrumented twin of
+// BenchmarkReplayEasyport: the same steady-state replay loop with a
+// telemetry shard attached, as core.Runner workers run it. Comparing
+// its events/sec against the plain benchmark bounds the observation
+// overhead (scripts/benchreplay.go computes the ratio; the budget is
+// <2%). ReportAllocs doubles as the zero-allocation guard.
+func BenchmarkReplayTelemetry(b *testing.B) {
+	p := workload.DefaultEasyportParams()
+	p.Packets = 3000
+	tr, err := p.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ct, err := trace.Compile(tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := memhier.EmbeddedSoC()
+	col := telemetry.NewCollector(1)
+	for _, cfg := range []alloc.Config{
+		alloc.KingsleyConfig(memhier.LayerDRAM),
+		alloc.LeaConfig(memhier.LayerDRAM),
+		alloc.SimpleFirstFitConfig(memhier.LayerDRAM),
+	} {
+		b.Run(cfg.Label, func(b *testing.B) {
+			rep := NewReplayer()
+			rep.Shard = col.Shard(0)
+			if _, err := rep.Run(ct, cfg, h, Options{}); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(ct.Len())) // "bytes" = events replayed
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := rep.Run(ct, cfg, h, Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			eventsPerSec := float64(ct.Len()) * float64(b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(eventsPerSec, "events/sec")
+		})
+	}
 }

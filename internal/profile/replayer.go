@@ -3,10 +3,12 @@ package profile
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"dmexplore/internal/alloc"
 	"dmexplore/internal/memhier"
 	"dmexplore/internal/simheap"
+	"dmexplore/internal/telemetry"
 	"dmexplore/internal/trace"
 )
 
@@ -16,6 +18,12 @@ import (
 // loop performs no Go heap allocations per event. A Replayer is not safe
 // for concurrent use; explorations run one per worker.
 type Replayer struct {
+	// Shard, when non-nil, receives per-run telemetry: simulation wall
+	// time and events replayed. Recording is a few uncontended atomic
+	// adds outside the replay loop, so the zero-alloc guarantee holds
+	// with telemetry enabled.
+	Shard *telemetry.Shard
+
 	ptrs []alloc.Ptr // dense ID -> payload pointer
 	live []bool      // dense ID -> allocation currently live (not failed)
 }
@@ -82,6 +90,10 @@ func applyOptions(ctx *simheap.Context, h *memhier.Hierarchy, opts Options) (*lo
 // compiled trace is shared read-only; the Replayer's scratch state is
 // reset, not reallocated, between runs.
 func (r *Replayer) Run(ct *trace.Compiled, cfg alloc.Config, h *memhier.Hierarchy, opts Options) (*Metrics, error) {
+	var start time.Time
+	if r.Shard != nil {
+		start = time.Now()
+	}
 	ctx := simheap.NewContext(h)
 	lw, err := applyOptions(ctx, h, opts)
 	if err != nil {
@@ -124,6 +136,9 @@ func (r *Replayer) Run(ct *trace.Compiled, cfg alloc.Config, h *memhier.Hierarch
 	m.EnergyNJ = ctx.Energy()
 	m.Cycles = ctx.Cycles()
 	m.PeakRequestedBytes = ct.PeakRequestedBytes
+	if r.Shard != nil {
+		r.Shard.ObserveSim(time.Since(start), len(ct.Ops))
+	}
 	return m, nil
 }
 

@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"reflect"
 	"testing"
+	"time"
 
 	"dmexplore/internal/alloc"
 	"dmexplore/internal/memhier"
 	"dmexplore/internal/simheap"
+	"dmexplore/internal/telemetry"
 	"dmexplore/internal/trace"
 	"dmexplore/internal/workload"
 )
@@ -305,5 +307,53 @@ func TestReplaySteadyStateZeroAllocs(t *testing.T) {
 		if avg != 0 {
 			t.Errorf("%s: steady-state replay allocates %.1f times per run, want 0", cfg.Label, avg)
 		}
+	}
+}
+
+// TestReplayTelemetryZeroAllocs extends the hot-path guard to the
+// instrumented path: a Replayer with a telemetry shard attached — the
+// exact shape core.Runner workers use — must still replay a warm
+// compiled trace with zero heap allocations, ObserveSim included.
+func TestReplayTelemetryZeroAllocs(t *testing.T) {
+	p := workload.DefaultEasyportParams()
+	p.Packets = 200
+	tr, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := trace.Compile(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := memhier.EmbeddedSoC()
+	col := telemetry.NewCollector(1)
+	for _, cfg := range presetConfigs() {
+		ctx := simheap.NewContext(h)
+		a, err := cfg.Build(ctx)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Label, err)
+		}
+		r := NewReplayer()
+		r.Shard = col.Shard(0)
+		r.reset(ct.NumIDs)
+		var warm Metrics
+		if err := r.replay(ct, a, ctx, &warm, 0); err != nil {
+			t.Fatalf("%s: warm replay: %v", cfg.Label, err)
+		}
+		avg := testing.AllocsPerRun(5, func() {
+			start := time.Now()
+			r.reset(ct.NumIDs)
+			var m Metrics
+			if err := r.replay(ct, a, ctx, &m, 0); err != nil {
+				t.Errorf("%s: replay: %v", cfg.Label, err)
+			}
+			r.Shard.ObserveSim(time.Since(start), len(ct.Ops))
+		})
+		if avg != 0 {
+			t.Errorf("%s: instrumented replay allocates %.1f times per run, want 0", cfg.Label, avg)
+		}
+	}
+	if s := col.Snapshot(); s.Sims == 0 || s.Events == 0 {
+		t.Fatalf("telemetry recorded nothing: %+v", s)
 	}
 }

@@ -1,0 +1,89 @@
+package stats
+
+// Fixed power-of-two bucketing for latency-style observations. The
+// telemetry layer keeps one counter per bucket in a flat array so that
+// recording an observation is a single index computation plus an
+// increment — no map, no allocation — and snapshots can still answer
+// quantile queries approximately from the merged counts.
+//
+// Bucket i covers values v with Log2BucketLo(i) <= v <= Log2BucketHi(i):
+// bucket 0 holds v <= 0 (and v == 1), bucket i holds (2^(i-1), 2^i] for
+// i >= 1, and the last bucket absorbs everything larger.
+
+// NumLog2Buckets is the fixed bucket count. 44 buckets cover observations
+// up to 2^43 — about 2.4 hours when the unit is nanoseconds — before the
+// overflow bucket engages.
+const NumLog2Buckets = 44
+
+// Log2Bucket returns the bucket index for observation v.
+func Log2Bucket(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	b := 0
+	for u := uint64(v - 1); u > 0; u >>= 1 {
+		b++
+	}
+	if b >= NumLog2Buckets {
+		return NumLog2Buckets - 1
+	}
+	return b
+}
+
+// Log2BucketLo returns the smallest positive value bucket i covers.
+func Log2BucketLo(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	return 1<<uint(i-1) + 1
+}
+
+// Log2BucketHi returns the largest value bucket i covers (the overflow
+// bucket reports its nominal upper bound).
+func Log2BucketHi(i int) int64 {
+	if i <= 0 {
+		return 1
+	}
+	if i >= NumLog2Buckets {
+		i = NumLog2Buckets - 1
+	}
+	return 1 << uint(i)
+}
+
+// Log2Quantile returns an upper bound for the p-quantile (0..1) of the
+// observations summarized by counts (one count per bucket, as produced
+// by Log2Bucket). The answer is the upper bound of the bucket containing
+// the target observation — exact to within one power of two. Empty
+// counts return 0.
+func Log2Quantile(counts []uint64, p float64) int64 {
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	target := uint64(p * float64(total))
+	if target < 1 {
+		target = 1
+	}
+	var seen uint64
+	last := 0
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		last = i
+		seen += c
+		if seen >= target {
+			return Log2BucketHi(i)
+		}
+	}
+	return Log2BucketHi(last)
+}

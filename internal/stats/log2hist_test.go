@@ -1,0 +1,71 @@
+package stats
+
+import "testing"
+
+func TestLog2Bucket(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 0},
+		{2, 1},
+		{3, 2}, {4, 2},
+		{5, 3}, {8, 3},
+		{9, 4}, {16, 4},
+		{1024, 10}, {1025, 11},
+		{1 << 42, 42}, {1<<42 + 1, 43},
+		{1 << 60, NumLog2Buckets - 1}, // overflow bucket
+	}
+	for _, c := range cases {
+		if got := Log2Bucket(c.v); got != c.want {
+			t.Errorf("Log2Bucket(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestLog2BucketBoundsRoundTrip(t *testing.T) {
+	for i := 0; i < NumLog2Buckets; i++ {
+		lo, hi := Log2BucketLo(i), Log2BucketHi(i)
+		if lo > hi {
+			t.Fatalf("bucket %d: lo %d > hi %d", i, lo, hi)
+		}
+		if got := Log2Bucket(hi); got != i {
+			t.Errorf("bucket %d: hi %d maps to bucket %d", i, hi, got)
+		}
+		if i > 0 {
+			if got := Log2Bucket(lo); got != i {
+				t.Errorf("bucket %d: lo %d maps to bucket %d", i, lo, got)
+			}
+			if Log2BucketHi(i-1)+1 != lo {
+				t.Errorf("bucket %d: gap below lo %d", i, lo)
+			}
+		}
+	}
+}
+
+func TestLog2Quantile(t *testing.T) {
+	var counts [NumLog2Buckets]uint64
+	if got := Log2Quantile(counts[:], 0.5); got != 0 {
+		t.Fatalf("empty quantile = %d", got)
+	}
+	// 90 observations of ~1000 (bucket 10), 10 of ~1e6 (bucket 20).
+	counts[Log2Bucket(1000)] = 90
+	counts[Log2Bucket(1_000_000)] = 10
+	if got := Log2Quantile(counts[:], 0.5); got != Log2BucketHi(10) {
+		t.Errorf("p50 = %d, want %d", got, Log2BucketHi(10))
+	}
+	if got := Log2Quantile(counts[:], 0.99); got != Log2BucketHi(20) {
+		t.Errorf("p99 = %d, want %d", got, Log2BucketHi(20))
+	}
+	if got := Log2Quantile(counts[:], 1.0); got != Log2BucketHi(20) {
+		t.Errorf("p100 = %d, want %d", got, Log2BucketHi(20))
+	}
+	// All mass in one bucket: every quantile answers that bucket.
+	var one [NumLog2Buckets]uint64
+	one[3] = 7
+	for _, p := range []float64{0, 0.1, 0.5, 0.999, 1} {
+		if got := Log2Quantile(one[:], p); got != Log2BucketHi(3) {
+			t.Errorf("single-bucket p%v = %d", p, got)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestServeExpvarAndPprof(t *testing.T) {
+	col := NewCollector(2)
+	col.Shard(0).ObserveSim(time.Millisecond, 500)
+	col.Shard(1).CacheHit()
+
+	srv, err := Serve("127.0.0.1:0", col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	vars := get("/debug/vars")
+	if !strings.Contains(vars, ExpvarName) {
+		t.Fatalf("/debug/vars missing %s:\n%s", ExpvarName, vars)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(vars), &doc); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(doc[ExpvarName], &snap); err != nil {
+		t.Fatalf("telemetry var not a snapshot: %v", err)
+	}
+	if snap.Sims != 1 || snap.Events != 500 || snap.CacheHits != 1 {
+		t.Fatalf("live snapshot: %+v", snap)
+	}
+
+	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index unexpected:\n%.200s", body)
+	}
+	if body := get("/"); !strings.Contains(body, "/debug/pprof/") {
+		t.Fatalf("root index unexpected: %q", body)
+	}
+
+	// A second Serve (fresh collector) must re-point the published var,
+	// not panic on duplicate expvar registration.
+	col2 := NewCollector(1)
+	srv2, err := Serve("127.0.0.1:0", col2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	vars2 := get("/debug/vars") // still via srv: expvar state is global
+	var doc2 map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(vars2), &doc2); err != nil {
+		t.Fatal(err)
+	}
+	var snap2 Snapshot
+	if err := json.Unmarshal(doc2[ExpvarName], &snap2); err != nil {
+		t.Fatal(err)
+	}
+	if snap2.Sims != 0 {
+		t.Fatalf("published var not re-pointed at new collector: %+v", snap2)
+	}
+}

@@ -1,0 +1,131 @@
+package telemetry
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := CreateJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{Index: 0, Labels: []string{"first", "lifo"}, DurationMS: 1.5,
+			Accesses: 100, FootprintBytes: 4096, EnergyNJ: 7.5, Cycles: 999},
+		{Index: 1, CacheHit: true, DurationMS: 0.01, Accesses: 100},
+		{Index: 2, Error: "configuration 2 [best lifo]: boom", DurationMS: 0.2},
+		{Index: 3, MemoHit: true, Failures: 4},
+	}
+	for _, r := range recs {
+		if err := j.Record(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if j.Len() != len(recs) {
+		t.Fatalf("journal length %d", j.Len())
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := ReadJournal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records", len(got))
+	}
+	if got[0].Labels[1] != "lifo" || got[0].Accesses != 100 || got[0].EnergyNJ != 7.5 {
+		t.Fatalf("record 0: %+v", got[0])
+	}
+	if !got[1].CacheHit || got[2].Error == "" || !got[3].MemoHit {
+		t.Fatalf("flags lost: %+v", got[1:])
+	}
+
+	d := Digest(got)
+	if d.Records != 4 || d.CacheHits != 1 || d.MemoHits != 1 || d.Errors != 1 || d.Infeasible != 1 {
+		t.Fatalf("digest: %+v", d)
+	}
+	if d.MaxIndex != 0 || d.MaxMS != 1.5 {
+		t.Fatalf("slowest: %+v", d)
+	}
+}
+
+func TestJournalConcurrentRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := CreateJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, each = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if err := j.Record(Record{Index: w*each + i}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := ReadJournal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != writers*each {
+		t.Fatalf("read %d records, want %d", len(got), writers*each)
+	}
+	seen := make(map[int]bool, len(got))
+	for _, r := range got {
+		if seen[r.Index] {
+			t.Fatalf("duplicate index %d", r.Index)
+		}
+		seen[r.Index] = true
+	}
+}
+
+func TestRunSummaryRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run-summary.json")
+	in := RunSummary{
+		Tool: "dmexplore", Workload: "easyport", Space: "narrow",
+		Strategy: "exhaustive", Objectives: []string{"accesses", "footprint"},
+		Configurations: 24, Feasible: 20, ParetoFront: 5, JournalRecords: 24,
+		ElapsedSec: 1.25,
+		Telemetry:  Snapshot{Workers: 4, Sims: 24, Events: 2400},
+		Cache:      &CacheSummary{Path: "c.jsonl", Entries: 24, Hits: 3, Misses: 21, Stale: 1},
+	}
+	if err := WriteRunSummary(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadRunSummary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Configurations != 24 || out.Telemetry.Sims != 24 || out.Cache.Hits != 3 {
+		t.Fatalf("round trip: %+v", out)
+	}
+	if _, err := ReadRunSummary(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing summary accepted")
+	}
+}

@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultProgressInterval throttles terminal progress to ~10 Hz so an
+// exhaustive sweep spends its time simulating, not in fmt/IO.
+const DefaultProgressInterval = 100 * time.Millisecond
+
+// Progress renders a single-line, throttled progress report with
+// throughput, cache-hit rate, and ETA. Its Update method has the
+// core.Runner Progress callback signature and is safe for concurrent
+// use; between prints it costs two atomic loads and a compare.
+type Progress struct {
+	w        io.Writer
+	col      *Collector // optional: adds cache-hit rate to the line
+	interval time.Duration
+	start    time.Time
+
+	last atomic.Int64 // nanos since start of the last accepted print
+	mu   sync.Mutex   // serializes the actual writes
+}
+
+// NewProgress returns a reporter writing to w. col may be nil; interval
+// <= 0 uses DefaultProgressInterval.
+func NewProgress(w io.Writer, col *Collector, interval time.Duration) *Progress {
+	if interval <= 0 {
+		interval = DefaultProgressInterval
+	}
+	return &Progress{w: w, col: col, interval: interval, start: time.Now()}
+}
+
+// Update reports done/total. Prints are throttled to one per interval;
+// the final update (done == total) always prints and ends the line.
+func (p *Progress) Update(done, total int) {
+	final := done >= total
+	now := time.Since(p.start).Nanoseconds()
+	last := p.last.Load()
+	if !final {
+		if now-last < p.interval.Nanoseconds() {
+			return
+		}
+		// One goroutine wins the right to print this tick; losers drop
+		// their update rather than queue on the mutex.
+		if !p.last.CompareAndSwap(last, now) {
+			return
+		}
+	} else {
+		p.last.Store(now)
+	}
+
+	elapsed := time.Duration(now)
+	line := fmt.Sprintf("\r  profiled %d/%d (%.0f%%)", done, total,
+		100*float64(done)/float64(max(total, 1)))
+	if rate := float64(done) / elapsed.Seconds(); rate > 0 && elapsed > 0 {
+		line += fmt.Sprintf("  %.0f cfg/s", rate)
+		if !final {
+			eta := time.Duration(float64(total-done)/rate*1e9) * time.Nanosecond
+			line += fmt.Sprintf("  ETA %s", formatETA(eta))
+		}
+	}
+	if p.col != nil {
+		if s := p.col.Snapshot(); s.CacheHits+s.CacheMisses > 0 {
+			line += fmt.Sprintf("  cache %.0f%%", 100*s.CacheHitRate())
+		}
+	}
+	p.mu.Lock()
+	fmt.Fprint(p.w, line)
+	if final {
+		fmt.Fprintln(p.w)
+	}
+	p.mu.Unlock()
+}
+
+// formatETA renders a duration as mm:ss (or h:mm:ss beyond an hour),
+// rounded up so the ETA never reads 0:00 while work remains.
+func formatETA(d time.Duration) string {
+	if d < 0 {
+		d = 0
+	}
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs >= 3600 {
+		return fmt.Sprintf("%d:%02d:%02d", secs/3600, secs%3600/60, secs%60)
+	}
+	return fmt.Sprintf("%d:%02d", secs/60, secs%60)
+}

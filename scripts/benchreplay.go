@@ -42,6 +42,10 @@ type output struct {
 	GoVersion   string             `json:"go_version"`
 	Baseline    map[string]float64 `json:"baseline_pre_change_events_per_sec"`
 	Results     []benchResult      `json:"results"`
+	// TelemetryOverheadPct compares BenchmarkReplayTelemetry against
+	// BenchmarkReplayEasyport per configuration: percent of events/sec
+	// lost to the attached telemetry shard. Budget: < 2%.
+	TelemetryOverheadPct map[string]float64 `json:"telemetry_overhead_pct,omitempty"`
 }
 
 func main() {
@@ -88,6 +92,14 @@ func run() error {
 				r.SpeedupX = eps / base
 			}
 		}
+	}
+	out.TelemetryOverheadPct = telemetryOverhead(out.Results)
+	for cfg, pct := range out.TelemetryOverheadPct {
+		status := "ok"
+		if pct >= 2 {
+			status = "OVER BUDGET (2%)"
+		}
+		fmt.Fprintf(os.Stderr, "telemetry overhead %-10s %+.2f%% %s\n", cfg, pct, status)
 	}
 	f, err := os.Create("BENCH_replay.json")
 	if err != nil {
@@ -137,6 +149,31 @@ func parseBench(text string) ([]benchResult, error) {
 		return nil, fmt.Errorf("no benchmark lines in output:\n%s", text)
 	}
 	return results, nil
+}
+
+// telemetryOverhead pairs each BenchmarkReplayTelemetry/<cfg> result
+// with its plain BenchmarkReplayEasyport/<cfg> twin (same workload,
+// same steady-state loop, only the shard differs) and returns the
+// percentage of throughput lost to observation. Negative values mean
+// the instrumented run measured faster — i.e. overhead below noise.
+func telemetryOverhead(results []benchResult) map[string]float64 {
+	eps := func(name string) float64 {
+		for _, r := range results {
+			if r.Name == name {
+				return r.Metrics["events/sec"]
+			}
+		}
+		return 0
+	}
+	overhead := map[string]float64{}
+	for _, cfg := range []string{"kingsley", "lea", "firstfit"} {
+		plain := eps("BenchmarkReplayEasyport/" + cfg)
+		instr := eps("BenchmarkReplayTelemetry/" + cfg)
+		if plain > 0 && instr > 0 {
+			overhead[cfg] = (plain - instr) / plain * 100
+		}
+	}
+	return overhead
 }
 
 // baselineKey maps "BenchmarkReplayEasyport/kingsley" to the baseline
