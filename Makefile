@@ -23,6 +23,14 @@ race:
 bench-replay:
 	$(GO) run scripts/benchreplay.go
 
+# bench-search refreshes BENCH_search.json: the same seeded NSGA-II run
+# at 1/2/4/8 workers against a latency-modelled evaluation backend. Fails
+# if the 8-worker speedup drops below 3x or any worker count diverges
+# from the serial run.
+.PHONY: bench-search
+bench-search:
+	$(GO) run scripts/benchsearch.go
+
 # bench-telemetry compares the instrumented steady-state replay loop
 # (telemetry shard attached, as Runner workers run it) against the plain
 # one. The overhead budget is <2%; benchreplay.go computes the ratio.

@@ -47,7 +47,7 @@ func run(args []string, out io.Writer) error {
 		spaceFile    = fs.String("spacefile", "", "JSON space specification file (overrides -space)")
 		sample       = fs.Int("sample", 0, "profile only N sampled configurations (0 = exhaustive)")
 		sampleSeed   = fs.Uint64("sample-seed", 1, "sampling RNG seed")
-		strategy     = fs.String("strategy", "exhaustive", "search strategy: exhaustive|screen|evolve (-sample = screening size / population, -budget = total simulations)")
+		strategy     = fs.String("strategy", "exhaustive", "search strategy: exhaustive|screen|evolve|hillclimb|anneal (-sample = screening size / population, -budget = total simulations)")
 		budget       = fs.Int("budget", 0, "screen strategy: total simulation budget")
 		objectives   = fs.String("objectives", "accesses,footprint", "comma-separated minimization objectives")
 		hierName     = fs.String("hierarchy", "soc", "memory hierarchy: soc|soc3|flat")
@@ -212,6 +212,28 @@ func run(args []string, out io.Writer) error {
 		results, err = runner.Evolve(space, objs, core.EvolveOptions{
 			Population: pop, Budget: total, Seed: *sampleSeed,
 		})
+	case *strategy == "hillclimb" || *strategy == "anneal":
+		total := *budget
+		if total <= 0 {
+			total = 256
+		}
+		// The single-solution searches scalarize the objectives with
+		// equal weights; -objectives still picks which metrics count.
+		weights := make([]core.Weighted, len(objs))
+		for i, obj := range objs {
+			weights[i] = core.Weighted{Objective: obj, Weight: 1}
+		}
+		var sr *core.SearchResult
+		if *strategy == "hillclimb" {
+			sr, err = runner.HillClimb(space, weights, total, *sampleSeed)
+		} else {
+			sr, err = runner.Anneal(space, weights, total, *sampleSeed)
+		}
+		if err == nil {
+			results = sr.Evaluated
+			fmt.Fprintf(out, "\n%s best: config #%d %s (score %.4g)\n",
+				*strategy, sr.Best.Index, strings.Join(sr.Best.Labels, ","), sr.BestScore)
+		}
 	case *strategy != "exhaustive":
 		return fmt.Errorf("unknown strategy %q", *strategy)
 	case *sample > 0:

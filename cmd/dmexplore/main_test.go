@@ -222,3 +222,23 @@ func TestRunProgressLine(t *testing.T) {
 		t.Fatalf("telemetry summary missing:\n%s", s)
 	}
 }
+
+func TestRunHillClimbAndAnnealStrategies(t *testing.T) {
+	for _, strategy := range []string{"hillclimb", "anneal"} {
+		var out bytes.Buffer
+		err := run([]string{
+			"-workload", "easyport", "-scale", "5", "-quiet",
+			"-strategy", strategy, "-budget", "40",
+		}, &out)
+		if err != nil {
+			t.Fatalf("%s: %v", strategy, err)
+		}
+		s := out.String()
+		if !strings.Contains(s, strategy+" best: config #") {
+			t.Fatalf("%s output missing best line:\n%s", strategy, s)
+		}
+		if !strings.Contains(s, "Pareto-optimal configurations:") {
+			t.Fatalf("%s output missing front summary:\n%s", strategy, s)
+		}
+	}
+}

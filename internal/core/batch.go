@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// evalBatcher is the deduplicating evaluation layer under the guided
+// search strategies. A strategy exposes its natural batch width — an
+// NSGA-II offspring generation, a hill-climb neighbourhood, an annealing
+// speculation window — and the batcher evaluates only the indices it has
+// never seen, in one wave across the session's full worker pool.
+//
+// The batcher is safe for concurrent use: overlapping getBatch calls
+// dedupe against both completed results and in-flight indices, so a
+// configuration is profiled at most once per search no matter how the
+// caller fans out.
+type evalBatcher struct {
+	sess *EvalSession
+
+	mu       sync.Mutex
+	results  map[int]Result
+	inflight map[int]chan struct{} // closed when the owning batch lands
+	order    []int                 // successful first evaluations, in request order
+}
+
+func newEvalBatcher(sess *EvalSession) *evalBatcher {
+	return &evalBatcher{
+		sess:     sess,
+		results:  make(map[int]Result),
+		inflight: make(map[int]chan struct{}),
+	}
+}
+
+// getBatch returns a result per requested index, in request order. Indices
+// already profiled are served from memory; indices being profiled by a
+// concurrent getBatch are waited on; the remainder is evaluated in one
+// session wave. The error is the first per-result failure in request
+// order, if any.
+func (b *evalBatcher) getBatch(indices []int) ([]Result, error) {
+	if len(indices) == 0 {
+		return nil, nil
+	}
+	// Claim: split the request into cached / someone-else's / ours.
+	b.mu.Lock()
+	var todo []int
+	claimed := make(map[int]bool)
+	var waits []chan struct{}
+	waitSeen := make(map[chan struct{}]bool)
+	mine := make(chan struct{})
+	for _, idx := range indices {
+		if _, ok := b.results[idx]; ok || claimed[idx] {
+			continue
+		}
+		if ch, ok := b.inflight[idx]; ok {
+			if !waitSeen[ch] {
+				waitSeen[ch] = true
+				waits = append(waits, ch)
+			}
+			continue
+		}
+		claimed[idx] = true
+		b.inflight[idx] = mine
+		todo = append(todo, idx)
+	}
+	b.mu.Unlock()
+
+	if len(todo) > 0 {
+		res, err := b.sess.Eval(todo)
+		b.mu.Lock()
+		for i, idx := range todo {
+			if res != nil {
+				b.results[idx] = res[i]
+				if res[i].Err == nil {
+					b.order = append(b.order, idx)
+				}
+			} else {
+				// Eval failed before producing results (closed session):
+				// record the failure so waiters see a terminal state.
+				b.results[idx] = Result{Index: idx, Err: err}
+			}
+			delete(b.inflight, idx)
+		}
+		b.mu.Unlock()
+		close(mine)
+	}
+	for _, ch := range waits {
+		<-ch
+	}
+
+	out := make([]Result, len(indices))
+	b.mu.Lock()
+	for i, idx := range indices {
+		out[i] = b.results[idx]
+	}
+	b.mu.Unlock()
+	for _, res := range out {
+		if res.Err != nil {
+			return out, fmt.Errorf("core: %w", res.Err)
+		}
+	}
+	return out, nil
+}
+
+// getOne is the single-index convenience over getBatch.
+func (b *evalBatcher) getOne(idx int) (Result, error) {
+	res, err := b.getBatch([]int{idx})
+	if err != nil {
+		return Result{}, err
+	}
+	return res[0], nil
+}
+
+// limit returns the longest prefix of indices whose evaluation would
+// profile at most maxNew previously unseen configurations. Strategies use
+// it to cap a batch at the remaining simulation budget without losing the
+// already-profiled (free) members of the prefix.
+func (b *evalBatcher) limit(indices []int, maxNew int) []int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	newSeen := make(map[int]bool)
+	for i, idx := range indices {
+		if _, ok := b.results[idx]; ok || newSeen[idx] {
+			continue
+		}
+		if len(newSeen) == maxNew {
+			return indices[:i]
+		}
+		newSeen[idx] = true
+	}
+	return indices
+}
+
+// lookup returns the recorded result for idx, if any.
+func (b *evalBatcher) lookup(idx int) (Result, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	res, ok := b.results[idx]
+	return res, ok
+}
+
+// has reports whether idx has already been profiled (or failed).
+func (b *evalBatcher) has(idx int) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_, ok := b.results[idx]
+	return ok
+}
+
+// len returns the number of distinct configurations profiled so far —
+// the quantity search budgets count.
+func (b *evalBatcher) len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.results)
+}
+
+// all returns every successfully profiled result in first-evaluation
+// order.
+func (b *evalBatcher) all() []Result {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Result, 0, len(b.order))
+	for _, idx := range b.order {
+		out = append(out, b.results[idx])
+	}
+	return out
+}

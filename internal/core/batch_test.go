@@ -1,0 +1,351 @@
+package core
+
+import (
+	"bytes"
+	"runtime"
+	"sync"
+	"testing"
+
+	"dmexplore/internal/memhier"
+	"dmexplore/internal/profile"
+	"dmexplore/internal/telemetry"
+)
+
+// countingRunner wires an Observer that counts simulated (non-memo,
+// non-cache) evaluations per index.
+func countingRunner(t *testing.T, workers int) (*Runner, *sync.Mutex, map[int]int) {
+	t.Helper()
+	var mu sync.Mutex
+	counts := make(map[int]int)
+	r := &Runner{
+		Hierarchy: memhier.EmbeddedSoC(), Trace: tinyTrace(t), Workers: workers,
+		Observer: func(res Result) {
+			mu.Lock()
+			counts[res.Index]++
+			mu.Unlock()
+		},
+	}
+	return r, &mu, counts
+}
+
+func TestBatcherDedupesWithinAndAcrossBatches(t *testing.T) {
+	r, mu, counts := countingRunner(t, 2)
+	space := EasyportSpace()
+	sess, err := r.NewSession(space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	b := newEvalBatcher(sess)
+
+	// Duplicates within one batch: one evaluation each.
+	res, err := b.getBatch([]int{5, 9, 5, 9, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 5 {
+		t.Fatalf("batch returned %d results", len(res))
+	}
+	for i, want := range []int{5, 9, 5, 9, 5} {
+		if res[i].Index != want {
+			t.Fatalf("slot %d: index %d want %d (request order lost)", i, res[i].Index, want)
+		}
+	}
+	if res[0].Metrics != res[2].Metrics || res[1].Metrics != res[3].Metrics {
+		t.Fatal("duplicate request slots did not share one result")
+	}
+	// Overlapping second batch: only the unseen index evaluates.
+	if _, err := b.getBatch([]int{9, 11, 5}); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, idx := range []int{5, 9, 11} {
+		if counts[idx] != 1 {
+			t.Fatalf("index %d evaluated %d times", idx, counts[idx])
+		}
+	}
+	if len(counts) != 3 {
+		t.Fatalf("evaluated %d distinct indices, want 3", len(counts))
+	}
+	if b.len() != 3 {
+		t.Fatalf("batcher len %d, want 3", b.len())
+	}
+}
+
+func TestBatcherConcurrentOverlapEvaluatesOnce(t *testing.T) {
+	r, mu, counts := countingRunner(t, 4)
+	space := EasyportSpace()
+	sess, err := r.NewSession(space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	b := newEvalBatcher(sess)
+
+	// Many goroutines requesting heavily overlapping batches: in-flight
+	// deduplication must keep every index at exactly one evaluation.
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			batch := make([]int, 0, 16)
+			for i := 0; i < 16; i++ {
+				batch = append(batch, (g+i)%20)
+			}
+			res, err := b.getBatch(batch)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i, idx := range batch {
+				if res[i].Index != idx || res[i].Metrics == nil {
+					t.Errorf("goroutine %d slot %d: bad result %+v", g, i, res[i])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	for idx, n := range counts {
+		if n != 1 {
+			t.Fatalf("index %d evaluated %d times under concurrency", idx, n)
+		}
+	}
+	if len(counts) != 20 {
+		t.Fatalf("evaluated %d distinct indices, want 20", len(counts))
+	}
+}
+
+func TestBatcherLimit(t *testing.T) {
+	r, _, _ := countingRunner(t, 1)
+	space := EasyportSpace()
+	sess, err := r.NewSession(space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	b := newEvalBatcher(sess)
+	if _, err := b.getBatch([]int{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		in     []int
+		maxNew int
+		want   int // prefix length
+	}{
+		{[]int{1, 2, 3, 4}, 1, 3},  // cached, cached, 1 new, cut
+		{[]int{3, 3, 4}, 1, 2},     // duplicate new counts once
+		{[]int{1, 2}, 0, 2},        // all cached: nothing new to cap
+		{[]int{3, 1}, 0, 0},        // first is new, no budget
+		{[]int{3, 4, 5}, 10, 3},    // budget beyond batch
+		{nil, 5, 0},                // empty in, empty out
+		{[]int{5, 1, 6, 7}, 2, 3},  // two new allowed, third cut
+	}
+	for i, c := range cases {
+		if got := b.limit(c.in, c.maxNew); len(got) != c.want {
+			t.Fatalf("case %d: limit(%v, %d) = %v, want prefix of %d",
+				i, c.in, c.maxNew, got, c.want)
+		}
+	}
+}
+
+func TestSessionEvalAfterClose(t *testing.T) {
+	r := searchRunner(t)
+	sess, err := r.NewSession(tinySpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.Close()
+	sess.Close() // idempotent
+	if _, err := sess.Eval([]int{0}); err == nil {
+		t.Fatal("eval on closed session accepted")
+	}
+}
+
+func TestSessionReusesWorkersAcrossBatches(t *testing.T) {
+	// A session must keep the full worker pool alive between waves: the
+	// telemetry collector is per-session here, so every shard having sims
+	// after many small batches proves the waves actually fanned out.
+	col := telemetry.NewCollector(2)
+	r := &Runner{
+		Hierarchy: memhier.EmbeddedSoC(), Trace: tinyTrace(t),
+		Workers: 2, Telemetry: col,
+	}
+	space := tinySpace()
+	sess, err := r.NewSession(space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	for i := 0; i < space.Size(); i += 2 {
+		if _, err := sess.Eval([]int{i, i + 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := col.Snapshot()
+	if int(snap.Sims) != space.Size() {
+		t.Fatalf("sims %d, want %d", snap.Sims, space.Size())
+	}
+}
+
+// TestGuidedSearchJournalComplete pins the journal contract for guided
+// searches: every configuration the search profiled — including
+// batch-evaluated offspring that environmental selection later discarded
+// — appears exactly once in the journal with its axis labels, and
+// nothing else does.
+func TestGuidedSearchJournalComplete(t *testing.T) {
+	var buf bytes.Buffer
+	journal := telemetry.NewJournal(&buf)
+	r := &Runner{
+		Hierarchy: memhier.EmbeddedSoC(), Trace: tinyTrace(t), Workers: 4,
+		Observer: func(res Result) {
+			if err := journal.Record(res.JournalRecord()); err != nil {
+				t.Error(err)
+			}
+		},
+	}
+	space := EasyportSpace()
+	objs := []string{profile.ObjAccesses, profile.ObjFootprint}
+	evolved, err := r.Evolve(space, objs, EvolveOptions{Population: 8, Budget: 48, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := journal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := telemetry.ReadJournal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	profiled := make(map[int]bool)
+	for _, res := range evolved {
+		if profiled[res.Index] {
+			t.Fatalf("Evolve returned index %d twice", res.Index)
+		}
+		profiled[res.Index] = true
+	}
+	journaled := make(map[int]int)
+	for _, rec := range recs {
+		journaled[rec.Index]++
+		if len(rec.Labels) != len(space.Axes) {
+			t.Fatalf("record %d has labels %v, want one per axis", rec.Index, rec.Labels)
+		}
+	}
+	if len(recs) != len(evolved) {
+		t.Fatalf("journal has %d records for %d profiled configurations", len(recs), len(evolved))
+	}
+	for idx := range profiled {
+		if journaled[idx] != 1 {
+			t.Fatalf("configuration %d journaled %d times", idx, journaled[idx])
+		}
+	}
+	for idx := range journaled {
+		if !profiled[idx] {
+			t.Fatalf("journal has index %d the search never returned", idx)
+		}
+	}
+}
+
+// TestSearchDeterministicAcrossWorkers is the determinism contract of the
+// batched evaluation layer: for a fixed seed, every guided strategy must
+// produce the identical evaluation sequence, metrics, best pick, and
+// Pareto front for any worker count — the batch reduction order, not
+// completion order, decides everything the search observes.
+func TestSearchDeterministicAcrossWorkers(t *testing.T) {
+	tr := tinyTrace(t)
+	space := EasyportSpace()
+	objs := []string{profile.ObjAccesses, profile.ObjFootprint}
+	weights := []Weighted{{profile.ObjAccesses, 1}, {profile.ObjFootprint, 0.5}}
+	const seed, budget = 17, 72
+
+	type outcome struct {
+		name      string
+		indices   []int
+		accesses  []uint64
+		footprint []int64
+		bestIndex int
+		bestScore float64
+	}
+	capture := func(name string, evaluated []Result, best Result, score float64) outcome {
+		o := outcome{name: name, bestIndex: best.Index, bestScore: score}
+		for _, res := range evaluated {
+			o.indices = append(o.indices, res.Index)
+			o.accesses = append(o.accesses, res.Metrics.Accesses)
+			o.footprint = append(o.footprint, res.Metrics.FootprintBytes)
+		}
+		return o
+	}
+
+	runAll := func(workers int) []outcome {
+		r := &Runner{Hierarchy: memhier.EmbeddedSoC(), Trace: tr, Workers: workers}
+		var out []outcome
+		sr, err := r.HillClimb(space, weights, budget, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, capture("hillclimb", sr.Evaluated, sr.Best, sr.BestScore))
+		sr, err = r.Anneal(space, weights, budget, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, capture("anneal", sr.Evaluated, sr.Best, sr.BestScore))
+		results, err := r.ScreenAndRefine(space, objs, 16, budget, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		front, _, err := ParetoSet(Feasible(results), objs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bestIdx := -1
+		if len(front) > 0 {
+			bestIdx = front[0].Index
+		}
+		out = append(out, capture("screen", results, Result{Index: bestIdx}, 0))
+		results, err = r.Evolve(space, objs, EvolveOptions{Population: 8, Budget: budget, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		front, _, err = ParetoSet(Feasible(results), objs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bestIdx = -1
+		if len(front) > 0 {
+			bestIdx = front[0].Index
+		}
+		out = append(out, capture("evolve", results, Result{Index: bestIdx}, 0))
+		return out
+	}
+
+	ref := runAll(1)
+	for _, workers := range []int{4, runtime.GOMAXPROCS(0)} {
+		got := runAll(workers)
+		for i, o := range got {
+			want := ref[i]
+			if o.bestIndex != want.bestIndex || o.bestScore != want.bestScore {
+				t.Fatalf("%s: best %d/%v with %d workers, %d/%v with 1",
+					o.name, o.bestIndex, o.bestScore, workers, want.bestIndex, want.bestScore)
+			}
+			if len(o.indices) != len(want.indices) {
+				t.Fatalf("%s: %d evaluations with %d workers, %d with 1",
+					o.name, len(o.indices), workers, len(want.indices))
+			}
+			for j := range o.indices {
+				if o.indices[j] != want.indices[j] {
+					t.Fatalf("%s: evaluation order diverges at %d with %d workers",
+						o.name, j, workers)
+				}
+				if o.accesses[j] != want.accesses[j] || o.footprint[j] != want.footprint[j] {
+					t.Fatalf("%s: metrics diverge at %d with %d workers",
+						o.name, j, workers)
+				}
+			}
+		}
+	}
+}

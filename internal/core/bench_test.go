@@ -3,11 +3,32 @@ package core
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"dmexplore/internal/memhier"
 	"dmexplore/internal/trace"
 	"dmexplore/internal/workload"
 )
+
+// BenchmarkNeighbors pins the neighbourhood-enumeration fast path: the
+// scratch variant must run allocation-free, which the guided strategies
+// rely on when they enumerate a neighbourhood per climb step.
+func BenchmarkNeighbors(b *testing.B) {
+	s := FullEasyportSpace()
+	b.Run("alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.neighbors(i % s.Size())
+		}
+	})
+	b.Run("scratch", func(b *testing.B) {
+		scratch := newNeighborScratch(s)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			scratch.neighbors(s, i%s.Size())
+		}
+	})
+}
 
 // BenchmarkRunnerFanout measures exploration scaling: one compiled trace,
 // a fixed 64-configuration sample of the Easyport space, profiled with
@@ -43,6 +64,45 @@ func BenchmarkRunnerFanout(b *testing.B) {
 			b.StopTimer()
 			configsPerSec := float64(sampleN) * float64(b.N) / b.Elapsed().Seconds()
 			b.ReportMetric(configsPerSec, "configs/sec")
+		})
+	}
+}
+
+// BenchmarkEvolveWorkers measures generation-batched NSGA-II under a
+// latency-modelled evaluation backend (see Runner.EvalLatency): with the
+// per-generation offspring wave spread across the pool, wall-clock should
+// shrink near-linearly in workers until the wave width is exhausted.
+func BenchmarkEvolveWorkers(b *testing.B) {
+	p := workload.DefaultEasyportParams()
+	p.Packets = 400
+	tr, err := p.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ct, err := trace.Compile(tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	space := FullEasyportSpace()
+	objs := []string{"accesses", "footprint"}
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			r := &Runner{
+				Hierarchy: memhier.EmbeddedSoC(), Trace: tr, Compiled: ct,
+				Workers: workers, EvalLatency: 2 * time.Millisecond,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				results, err := r.Evolve(space, objs, EvolveOptions{
+					Population: 16, Budget: 64, Seed: 9,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(results) == 0 {
+					b.Fatal("no results")
+				}
+			}
 		})
 	}
 }

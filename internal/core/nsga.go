@@ -18,6 +18,12 @@ import (
 //
 // Returns every configuration profiled during the run (deduplicated);
 // callers extract the front with ParetoSet.
+//
+// Evaluation is generation-batched: the initial population and every
+// offspring generation are profiled as one wave across the runner's full
+// worker pool (duplicates and already-profiled genomes deduplicated by
+// the batcher). All randomness stays on the coordinating goroutine, so a
+// given seed yields the identical run for any worker count.
 func (r *Runner) Evolve(space *Space, objectives []string, opts EvolveOptions) ([]Result, error) {
 	if err := space.Validate(); err != nil {
 		return nil, err
@@ -33,10 +39,15 @@ func (r *Runner) Evolve(space *Space, objectives []string, opts EvolveOptions) (
 		return nil, fmt.Errorf("core: budget %d below population %d", opts.Budget, opts.Population)
 	}
 
-	cache := newEvalCache(r, space)
+	sess, err := r.NewSession(space)
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Close()
+	batcher := newEvalBatcher(sess)
 	rng := stats.NewRNG(opts.Seed)
 
-	// Initial population: uniform random genomes.
+	// Initial population: uniform random genomes, one evaluation wave.
 	pop := make([]int, 0, opts.Population)
 	seen := make(map[int]bool)
 	for len(pop) < opts.Population {
@@ -47,39 +58,42 @@ func (r *Runner) Evolve(space *Space, objectives []string, opts EvolveOptions) (
 		seen[idx] = true
 		pop = append(pop, idx)
 	}
-	if err := evalAll(cache, pop); err != nil {
+	if _, err := batcher.getBatch(pop); err != nil {
 		return nil, err
 	}
 
 	dryGenerations := 0
-	for len(cache.results) < opts.Budget && len(cache.results) < space.Size() {
-		evalsBefore := len(cache.results)
+	for batcher.len() < opts.Budget && batcher.len() < space.Size() {
+		evalsBefore := batcher.len()
 		// Offspring via binary tournaments, crossover, mutation.
-		ranks, crowd, err := rankAndCrowd(cache, pop, objectives)
+		ranks, crowd, err := rankAndCrowd(batcher, pop, objectives)
 		if err != nil {
 			return nil, err
 		}
 		offspring := make([]int, 0, opts.Population)
 		newEvals := 0
-		remaining := opts.Budget - len(cache.results)
+		remaining := opts.Budget - batcher.len()
 		for len(offspring) < opts.Population && newEvals < remaining {
 			a := tournament(rng, pop, ranks, crowd)
 			b := tournament(rng, pop, ranks, crowd)
 			child := crossover(rng, space, a, b)
 			child = mutate(rng, space, child, opts.MutationRate)
-			if _, cached := cache.results[child]; !cached {
+			if !batcher.has(child) {
 				newEvals++
 			}
 			offspring = append(offspring, child)
 		}
-		if err := evalAll(cache, offspring); err != nil {
+		// One wave for the whole generation — including offspring that
+		// environmental selection will discard; they still join the
+		// result set and the journal.
+		if _, err := batcher.getBatch(offspring); err != nil {
 			return nil, err
 		}
 
 		// Environmental selection over parents + offspring.
 		union := append(append([]int(nil), pop...), offspring...)
 		union = dedupInts(union)
-		ranks, crowd, err = rankAndCrowd(cache, union, objectives)
+		ranks, crowd, err = rankAndCrowd(batcher, union, objectives)
 		if err != nil {
 			return nil, err
 		}
@@ -95,7 +109,7 @@ func (r *Runner) Evolve(space *Space, objectives []string, opts EvolveOptions) (
 		}
 		pop = union
 
-		if len(cache.results) == evalsBefore {
+		if batcher.len() == evalsBefore {
 			// No unseen configuration this generation: converged (or a
 			// small space is nearly saturated). Allow a few dry
 			// generations before giving up — mutation may still escape.
@@ -107,7 +121,7 @@ func (r *Runner) Evolve(space *Space, objectives []string, opts EvolveOptions) (
 			dryGenerations = 0
 		}
 	}
-	return cache.all(), nil
+	return batcher.all(), nil
 }
 
 // EvolveOptions tune the evolutionary search.
@@ -128,25 +142,16 @@ func (o EvolveOptions) withDefaults() EvolveOptions {
 	return o
 }
 
-func evalAll(cache *evalCache, indices []int) error {
-	for _, idx := range indices {
-		if _, err := cache.get(idx); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
 // rankAndCrowd computes non-domination ranks (0 = front) and crowding
 // distances for the given population members. Infeasible configurations
 // rank behind every feasible one.
-func rankAndCrowd(cache *evalCache, pop []int, objectives []string) (map[int]int, map[int]float64, error) {
+func rankAndCrowd(b *evalBatcher, pop []int, objectives []string) (map[int]int, map[int]float64, error) {
 	ranks := make(map[int]int, len(pop))
 	crowd := make(map[int]float64, len(pop))
 
 	var feasible []pareto.Point
 	for _, idx := range pop {
-		res := cache.results[idx]
+		res, _ := b.lookup(idx)
 		if res.Metrics == nil || !res.Metrics.Feasible() {
 			ranks[idx] = math.MaxInt32 // infeasible: worst rank
 			crowd[idx] = 0

@@ -2,10 +2,6 @@ package core
 
 import (
 	"fmt"
-	"runtime"
-	"strings"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"dmexplore/internal/memhier"
@@ -94,6 +90,17 @@ type Runner struct {
 	// therefore any Options side effects (raw logs, series) for that
 	// configuration.
 	Cache *ResultsCache
+
+	// EvalLatency, when positive, adds a sleep after every executed
+	// simulation. The paper's workflow profiles configurations on real
+	// embedded platforms where one evaluation costs seconds to minutes;
+	// our in-process replay takes microseconds. The latency model lets
+	// benchmarks (scripts/benchsearch.go) and tests exercise the batched
+	// evaluation pipeline under backend-bound conditions — where
+	// saturating the worker pool, not raw simulation speed, decides
+	// wall-clock time. Cache and memo hits skip it, exactly as they skip
+	// the backend.
+	EvalLatency time.Duration
 }
 
 // Explore profiles every configuration of the space exhaustively and
@@ -129,126 +136,14 @@ func (r *Runner) Sample(space *Space, n int, seed uint64) ([]Result, error) {
 	return r.run(space, indices)
 }
 
+// run profiles the given indices in one wave: a throwaway session, one
+// batch, workers clamped to the batch size. Guided searches that issue
+// many waves open a persistent session instead (see EvalSession).
 func (r *Runner) run(space *Space, indices []int) ([]Result, error) {
-	if r.Hierarchy == nil || (r.Trace == nil && r.Compiled == nil) {
-		return nil, fmt.Errorf("core: runner needs a hierarchy and a trace")
+	s, err := r.newSession(space, len(indices))
+	if err != nil {
+		return nil, err
 	}
-	ct := r.Compiled
-	if ct == nil {
-		var err error
-		ct, err = trace.Compile(r.Trace)
-		if err != nil {
-			return nil, err
-		}
-	}
-	workers := r.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(indices) {
-		workers = len(indices)
-	}
-	col := r.Telemetry
-	if col == nil {
-		col = telemetry.NewCollector(workers)
-	}
-
-	results := make([]Result, len(indices))
-	// Work distribution and progress are lock-free: workers claim slots
-	// with a fetch-add, so the fan-out scales without a contended mutex.
-	var (
-		wg   sync.WaitGroup
-		next atomic.Int64
-		done atomic.Int64
-	)
-	// Axis combinations can collapse to the same configuration (an axis
-	// that is inapplicable under another axis's value, e.g. pool
-	// reclamation with no pools). Memoize within the run by canonical
-	// configuration ID so duplicates cost one simulation.
-	idMemo := make(map[string]*profile.Metrics)
-	var memoMu sync.Mutex
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			shard := col.Shard(w)
-			// One Replayer per worker: its scratch tables are sized on
-			// the first run and reused for every configuration after.
-			rep := profile.NewReplayer()
-			rep.Shard = shard
-			for {
-				slot := int(next.Add(1)) - 1
-				if slot >= len(indices) {
-					return
-				}
-
-				start := time.Now()
-				idx := indices[slot]
-				res := Result{Index: idx}
-				cfg, labels, err := space.Config(idx)
-				if err != nil {
-					res.Err = fmt.Errorf("configuration %d: %w", idx, err)
-					shard.ConfigError()
-				} else {
-					res.Labels = labels
-					id := cfg.ID()
-					memoMu.Lock()
-					memoized := idMemo[id]
-					memoMu.Unlock()
-					if memoized != nil {
-						res.Metrics = memoized
-						res.MemoHit = true
-						shard.MemoHit()
-					}
-					key := ""
-					if res.Metrics == nil && r.Cache != nil {
-						key = CompiledCacheKey(id, ct, r.Hierarchy)
-						if m, ok := r.Cache.Get(key); ok {
-							res.Metrics = m
-							res.CacheHit = true
-							shard.CacheHit()
-						} else {
-							shard.CacheMiss()
-						}
-					}
-					if res.Metrics == nil {
-						res.Metrics, res.Err = rep.Run(ct, cfg, r.Hierarchy, r.Options)
-						if res.Err != nil {
-							// Surface which configuration died, not just
-							// how: index and axis labels identify it in
-							// the space without a replay.
-							res.Err = fmt.Errorf("configuration %d [%s]: %w",
-								idx, strings.Join(labels, " "), res.Err)
-							shard.SimError()
-						} else if r.Cache != nil {
-							r.Cache.Put(key, res.Metrics)
-						}
-					}
-					if res.Err == nil && memoized == nil {
-						memoMu.Lock()
-						idMemo[id] = res.Metrics
-						memoMu.Unlock()
-					}
-				}
-				res.Duration = time.Since(start)
-				shard.AddBusy(res.Duration)
-				results[slot] = res
-
-				if r.Observer != nil {
-					r.Observer(res)
-				}
-				if r.Progress != nil {
-					r.Progress(int(done.Add(1)), len(indices))
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-
-	for _, res := range results {
-		if res.Err != nil {
-			return results, fmt.Errorf("core: %w", res.Err)
-		}
-	}
-	return results, nil
+	defer s.Close()
+	return s.Eval(indices)
 }

@@ -22,46 +22,21 @@ import (
 //
 // All strategies deduplicate configuration evaluations and return every
 // result they profiled (so fronts/ranges can be computed over the union).
+//
+// Every strategy evaluates through an evalBatcher over one persistent
+// EvalSession, exposing its natural batch width — the whole Hamming-1
+// neighbourhood per climb step, the screening sample and each refinement
+// ring, a speculative window of annealing proposals, an NSGA-II offspring
+// generation — so the full worker pool stays saturated instead of
+// funnelling one configuration at a time. Outcomes are deterministic for
+// a given seed regardless of Runner.Workers: every random draw happens on
+// the coordinating goroutine, and batch results come back in request
+// order.
 
 // Objective weights for scalarized search.
 type Weighted struct {
 	Objective string
 	Weight    float64
-}
-
-// evalCache memoizes profiled configurations by space index.
-type evalCache struct {
-	runner  *Runner
-	space   *Space
-	results map[int]Result
-	order   []int
-}
-
-func newEvalCache(r *Runner, s *Space) *evalCache {
-	return &evalCache{runner: r, space: s, results: make(map[int]Result)}
-}
-
-// get profiles configuration idx (once).
-func (c *evalCache) get(idx int) (Result, error) {
-	if res, ok := c.results[idx]; ok {
-		return res, nil
-	}
-	res, err := c.runner.run(c.space, []int{idx})
-	if err != nil {
-		return Result{}, err
-	}
-	c.results[idx] = res[0]
-	c.order = append(c.order, idx)
-	return res[0], nil
-}
-
-// all returns every profiled result in evaluation order.
-func (c *evalCache) all() []Result {
-	out := make([]Result, 0, len(c.order))
-	for _, idx := range c.order {
-		out = append(out, c.results[idx])
-	}
-	return out
 }
 
 // scalarize computes the weighted sum of normalized-by-reference
@@ -88,12 +63,17 @@ func scalarize(m *profile.Metrics, weights []Weighted, ref map[string]float64) (
 // digits decodes a space index into per-axis option indices and back.
 func (s *Space) digits(idx int) []int {
 	out := make([]int, len(s.Axes))
+	s.digitsInto(out, idx)
+	return out
+}
+
+// digitsInto decodes idx into dst, which must have len(s.Axes) elements.
+func (s *Space) digitsInto(dst []int, idx int) {
 	for i := len(s.Axes) - 1; i >= 0; i-- {
 		n := len(s.Axes[i].Options)
-		out[i] = idx % n
+		dst[i] = idx % n
 		idx /= n
 	}
-	return out
 }
 
 func (s *Space) index(digits []int) int {
@@ -104,21 +84,61 @@ func (s *Space) index(digits []int) int {
 	return idx
 }
 
-// neighbors returns all Hamming-1 neighbours of idx in the axis grid.
-func (s *Space) neighbors(idx int) []int {
-	base := s.digits(idx)
-	var out []int
+// neighborCount returns the number of Hamming-1 neighbours every
+// configuration has: sum over axes of (options - 1).
+func (s *Space) neighborCount() int {
+	n := 0
+	for _, ax := range s.Axes {
+		n += len(ax.Options) - 1
+	}
+	return n
+}
+
+// appendNeighbors appends all Hamming-1 neighbours of idx to dst and
+// returns the extended slice. scratch must have len(s.Axes) elements; it
+// is the digit buffer, mutated one axis at a time and restored, so the
+// whole enumeration allocates nothing beyond dst growth.
+func (s *Space) appendNeighbors(dst []int, scratch []int, idx int) []int {
+	s.digitsInto(scratch, idx)
 	for ax := range s.Axes {
+		base := scratch[ax]
 		for v := 0; v < len(s.Axes[ax].Options); v++ {
-			if v == base[ax] {
+			if v == base {
 				continue
 			}
-			d := append([]int(nil), base...)
-			d[ax] = v
-			out = append(out, s.index(d))
+			scratch[ax] = v
+			dst = append(dst, s.index(scratch))
 		}
+		scratch[ax] = base
 	}
-	return out
+	return dst
+}
+
+// neighbors returns all Hamming-1 neighbours of idx in the axis grid.
+// Hot loops should hold their own buffers and call appendNeighbors.
+func (s *Space) neighbors(idx int) []int {
+	return s.appendNeighbors(make([]int, 0, s.neighborCount()), make([]int, len(s.Axes)), idx)
+}
+
+// neighborScratch bundles the reusable buffers a strategy needs to
+// enumerate neighbourhoods without per-step allocation.
+type neighborScratch struct {
+	digits []int
+	out    []int
+}
+
+func newNeighborScratch(s *Space) *neighborScratch {
+	return &neighborScratch{
+		digits: make([]int, len(s.Axes)),
+		out:    make([]int, 0, s.neighborCount()),
+	}
+}
+
+// neighbors enumerates idx's neighbourhood into the scratch buffer; the
+// returned slice is valid until the next call.
+func (ns *neighborScratch) neighbors(s *Space, idx int) []int {
+	ns.out = s.appendNeighbors(ns.out[:0], ns.digits, idx)
+	return ns.out
 }
 
 // SearchResult is the outcome of a heuristic search.
@@ -131,6 +151,11 @@ type SearchResult struct {
 // HillClimb performs steepest-descent local search from a random start,
 // restarting until the simulation budget is used. budget counts profiled
 // configurations.
+//
+// Each climb step batches the entire (budget-capped) Hamming-1
+// neighbourhood of the current point in one evaluation wave, then applies
+// the first-improvement rule over the shuffled order — so the walk is
+// identical for any worker count while the simulations run in parallel.
 func (r *Runner) HillClimb(space *Space, weights []Weighted, budget int, seed uint64) (*SearchResult, error) {
 	if err := space.Validate(); err != nil {
 		return nil, err
@@ -138,17 +163,23 @@ func (r *Runner) HillClimb(space *Space, weights []Weighted, budget int, seed ui
 	if len(weights) == 0 || budget <= 0 {
 		return nil, fmt.Errorf("core: hill climb needs weights and a positive budget")
 	}
-	cache := newEvalCache(r, space)
-	rng := stats.NewRNG(seed)
-	ref, err := referenceScales(r, space, cache, weights, rng)
+	sess, err := r.NewSession(space)
 	if err != nil {
 		return nil, err
 	}
+	defer sess.Close()
+	b := newEvalBatcher(sess)
+	rng := stats.NewRNG(seed)
+	ref, err := referenceScales(space, b, weights, rng)
+	if err != nil {
+		return nil, err
+	}
+	scratch := newNeighborScratch(space)
 
 	best := Result{Index: -1}
 	bestScore := math.Inf(1)
-	for len(cache.results) < budget {
-		cur, err := cache.get(rng.Intn(space.Size()))
+	for b.len() < budget {
+		cur, err := b.getOne(rng.Intn(space.Size()))
 		if err != nil {
 			return nil, err
 		}
@@ -156,16 +187,15 @@ func (r *Runner) HillClimb(space *Space, weights []Weighted, budget int, seed ui
 		if err != nil {
 			return nil, err
 		}
-		for len(cache.results) < budget {
+		for b.len() < budget {
+			ns := shuffled(rng, scratch.neighbors(space, cur.Index))
+			ns = b.limit(ns, budget-b.len())
+			cands, err := b.getBatch(ns)
+			if err != nil {
+				return nil, err
+			}
 			improved := false
-			for _, n := range shuffled(rng, space.neighbors(cur.Index)) {
-				if len(cache.results) >= budget {
-					break
-				}
-				cand, err := cache.get(n)
-				if err != nil {
-					return nil, err
-				}
+			for _, cand := range cands {
 				score, err := scalarize(cand.Metrics, weights, ref)
 				if err != nil {
 					return nil, err
@@ -173,7 +203,7 @@ func (r *Runner) HillClimb(space *Space, weights []Weighted, budget int, seed ui
 				if score < curScore {
 					cur, curScore = cand, score
 					improved = true
-					break // steepest-enough: first improvement
+					break // first improvement in shuffled order
 				}
 			}
 			if !improved {
@@ -184,10 +214,23 @@ func (r *Runner) HillClimb(space *Space, weights []Weighted, budget int, seed ui
 			best, bestScore = cur, curScore
 		}
 	}
-	return &SearchResult{Best: best, BestScore: bestScore, Evaluated: cache.all()}, nil
+	return &SearchResult{Best: best, BestScore: bestScore, Evaluated: b.all()}, nil
 }
 
+// annealSpeculation is the number of proposals Anneal batches per wave.
+// It is a fixed constant — not derived from Runner.Workers — so the
+// search trajectory is identical for any worker count.
+const annealSpeculation = 8
+
 // Anneal performs simulated annealing over the axis grid.
+//
+// Proposals are drawn from a dedicated RNG stream and speculatively
+// batched annealSpeculation at a time: all candidates of a wave are
+// profiled in parallel, then accept/reject decisions replay sequentially
+// over the wave. An acceptance abandons the rest of the wave (those
+// proposals came from the superseded state) and re-speculates from the
+// new state; rejected-wave evaluations stay in the result set and count
+// against the budget, exactly like their serial counterparts.
 func (r *Runner) Anneal(space *Space, weights []Weighted, budget int, seed uint64) (*SearchResult, error) {
 	if err := space.Validate(); err != nil {
 		return nil, err
@@ -195,14 +238,24 @@ func (r *Runner) Anneal(space *Space, weights []Weighted, budget int, seed uint6
 	if len(weights) == 0 || budget <= 0 {
 		return nil, fmt.Errorf("core: annealing needs weights and a positive budget")
 	}
-	cache := newEvalCache(r, space)
-	rng := stats.NewRNG(seed)
-	ref, err := referenceScales(r, space, cache, weights, rng)
+	sess, err := r.NewSession(space)
 	if err != nil {
 		return nil, err
 	}
+	defer sess.Close()
+	b := newEvalBatcher(sess)
+	rng := stats.NewRNG(seed)
+	ref, err := referenceScales(space, b, weights, rng)
+	if err != nil {
+		return nil, err
+	}
+	// The proposal stream is split off the main RNG: accept/reject draws
+	// stay on rng, neighbour picks on propRNG, so speculation depth never
+	// perturbs the acceptance randomness.
+	propRNG := rng.Split()
+	scratch := newNeighborScratch(space)
 
-	cur, err := cache.get(rng.Intn(space.Size()))
+	cur, err := b.getOne(rng.Intn(space.Size()))
 	if err != nil {
 		return nil, err
 	}
@@ -214,29 +267,38 @@ func (r *Runner) Anneal(space *Space, weights []Weighted, budget int, seed uint6
 
 	temp := 1.0
 	cooling := math.Pow(0.01, 1/float64(budget)) // reach temp 0.01 at budget
-	for len(cache.results) < budget {
-		ns := space.neighbors(cur.Index)
-		cand, err := cache.get(ns[rng.Intn(len(ns))])
+	proposals := make([]int, 0, annealSpeculation)
+	for b.len() < budget {
+		ns := scratch.neighbors(space, cur.Index)
+		proposals = proposals[:0]
+		for len(proposals) < annealSpeculation {
+			proposals = append(proposals, ns[propRNG.Intn(len(ns))])
+		}
+		wave := b.limit(proposals, budget-b.len())
+		cands, err := b.getBatch(wave)
 		if err != nil {
 			return nil, err
 		}
-		score, err := scalarize(cand.Metrics, weights, ref)
-		if err != nil {
-			return nil, err
-		}
-		accept := score < curScore
-		if !accept && !math.IsInf(score, 1) {
-			accept = rng.Float64() < math.Exp((curScore-score)/temp)
-		}
-		if accept {
-			cur, curScore = cand, score
-			if curScore < bestScore {
-				best, bestScore = cur, curScore
+		for _, cand := range cands {
+			score, err := scalarize(cand.Metrics, weights, ref)
+			if err != nil {
+				return nil, err
+			}
+			accept := score < curScore
+			if !accept && !math.IsInf(score, 1) {
+				accept = rng.Float64() < math.Exp((curScore-score)/temp)
+			}
+			temp *= cooling
+			if accept {
+				cur, curScore = cand, score
+				if curScore < bestScore {
+					best, bestScore = cur, curScore
+				}
+				break // re-speculate from the accepted state
 			}
 		}
-		temp *= cooling
 	}
-	return &SearchResult{Best: best, BestScore: bestScore, Evaluated: cache.all()}, nil
+	return &SearchResult{Best: best, BestScore: bestScore, Evaluated: b.all()}, nil
 }
 
 // ScreenAndRefine approximates the Pareto front without a full sweep:
@@ -244,6 +306,9 @@ func (r *Runner) Anneal(space *Space, weights []Weighted, budget int, seed uint6
 // exhaustively profile the Hamming-1 neighbourhood of every front member
 // (repeating until the front stops improving or the budget is spent).
 // Returns every profiled configuration; callers run ParetoSet over it.
+//
+// The screening sample is one evaluation wave; each refinement ring (the
+// union of all unseen front-member neighbours, budget-capped) is another.
 func (r *Runner) ScreenAndRefine(space *Space, objectives []string, screen, budget int, seed uint64) ([]Result, error) {
 	if err := space.Validate(); err != nil {
 		return nil, err
@@ -251,56 +316,69 @@ func (r *Runner) ScreenAndRefine(space *Space, objectives []string, screen, budg
 	if screen <= 0 || budget < screen {
 		return nil, fmt.Errorf("core: screen %d / budget %d invalid", screen, budget)
 	}
-	cache := newEvalCache(r, space)
+	sess, err := r.NewSession(space)
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Close()
+	b := newEvalBatcher(sess)
 	rng := stats.NewRNG(seed)
+	scratch := newNeighborScratch(space)
 
-	// Screening sample.
+	// Screening sample: one wave.
 	perm := rng.Perm(space.Size())
 	if screen > len(perm) {
 		screen = len(perm)
 	}
-	for _, idx := range perm[:screen] {
-		if _, err := cache.get(idx); err != nil {
-			return nil, err
-		}
+	if _, err := b.getBatch(perm[:screen]); err != nil {
+		return nil, err
 	}
 
-	for len(cache.results) < budget {
-		front, _, err := ParetoSet(Feasible(cache.all()), objectives)
+	for b.len() < budget {
+		front, _, err := ParetoSet(Feasible(b.all()), objectives)
 		if err != nil {
 			return nil, err
 		}
-		grew := false
+		// Refinement ring: every unseen neighbour of every front member,
+		// deduplicated, capped at the remaining budget.
+		var ring []int
+		inRing := make(map[int]bool)
+		remaining := budget - b.len()
 		for _, f := range front {
-			for _, n := range space.neighbors(f.Index) {
-				if len(cache.results) >= budget {
+			for _, n := range scratch.neighbors(space, f.Index) {
+				if len(ring) >= remaining {
 					break
 				}
-				if _, ok := cache.results[n]; ok {
+				if inRing[n] || b.has(n) {
 					continue
 				}
-				if _, err := cache.get(n); err != nil {
-					return nil, err
-				}
-				grew = true
+				inRing[n] = true
+				ring = append(ring, n)
 			}
 		}
-		if !grew {
+		if len(ring) == 0 {
 			break
 		}
-	}
-	return cache.all(), nil
-}
-
-// referenceScales profiles a few random configurations to establish the
-// normalization scale per objective for scalarized search.
-func referenceScales(r *Runner, space *Space, cache *evalCache, weights []Weighted, rng *stats.RNG) (map[string]float64, error) {
-	ref := make(map[string]float64)
-	for i := 0; i < 3; i++ {
-		res, err := cache.get(rng.Intn(space.Size()))
-		if err != nil {
+		if _, err := b.getBatch(ring); err != nil {
 			return nil, err
 		}
+	}
+	return b.all(), nil
+}
+
+// referenceScales profiles a few random configurations (one wave) to
+// establish the normalization scale per objective for scalarized search.
+func referenceScales(space *Space, b *evalBatcher, weights []Weighted, rng *stats.RNG) (map[string]float64, error) {
+	probes := make([]int, 3)
+	for i := range probes {
+		probes[i] = rng.Intn(space.Size())
+	}
+	results, err := b.getBatch(probes)
+	if err != nil {
+		return nil, err
+	}
+	ref := make(map[string]float64)
+	for _, res := range results {
 		if !res.Metrics.Feasible() {
 			continue
 		}

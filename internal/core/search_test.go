@@ -55,6 +55,27 @@ func TestNeighbors(t *testing.T) {
 	}
 }
 
+func TestNeighborsPreallocated(t *testing.T) {
+	// neighbors must allocate exactly its two buffers (digits + output,
+	// sized up front); appendNeighbors with caller buffers must allocate
+	// nothing at all.
+	s := EasyportSpace()
+	if allocs := testing.AllocsPerRun(100, func() { s.neighbors(17) }); allocs > 2 {
+		t.Fatalf("neighbors allocates %v times per call, want <= 2", allocs)
+	}
+	scratch := newNeighborScratch(s)
+	if allocs := testing.AllocsPerRun(100, func() { scratch.neighbors(s, 17) }); allocs != 0 {
+		t.Fatalf("scratch neighbors allocates %v times per call, want 0", allocs)
+	}
+	// The preallocation bound is exact: every configuration has
+	// neighborCount neighbours.
+	for _, idx := range []int{0, 1, 17, s.Size() - 1} {
+		if got := len(s.neighbors(idx)); got != s.neighborCount() {
+			t.Fatalf("index %d: %d neighbours, want %d", idx, got, s.neighborCount())
+		}
+	}
+}
+
 func TestHillClimbFindsGoodConfig(t *testing.T) {
 	r := searchRunner(t)
 	space := tinySpace()

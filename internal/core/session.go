@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dmexplore/internal/profile"
+	"dmexplore/internal/telemetry"
+	"dmexplore/internal/trace"
+)
+
+// EvalSession is a persistent evaluation pipeline over one (space, trace,
+// hierarchy) triple: the trace is compiled once, a pool of long-lived
+// workers is spawned once, and every worker keeps its Replayer — scratch
+// tables sized on the first configuration and reused for all that follow.
+// Batches of configuration indices are fed to the pool over a channel, so
+// a guided search issuing hundreds of small evaluation waves (one per
+// NSGA-II generation, one per hill-climb neighbourhood, one per annealing
+// speculation window) pays the pool spin-up cost exactly once instead of
+// once per wave.
+//
+// Eval is safe for concurrent use; results come back in request order, so
+// callers see a deterministic reduction order regardless of Workers.
+type EvalSession struct {
+	r       *Runner
+	space   *Space
+	ct      *trace.Compiled
+	col     *telemetry.Collector
+	workers int
+
+	jobs chan evalJob
+	wg   sync.WaitGroup
+
+	// Axis combinations can collapse to the same canonical configuration
+	// (an axis that is inapplicable under another axis's value). The memo
+	// spans the whole session, so duplicates cost one simulation across
+	// every batch of a search, not just within one.
+	memoMu sync.Mutex
+	memo   map[string]*profile.Metrics
+
+	// total/done drive the Progress callback: total grows as batches are
+	// submitted, done as configurations complete.
+	total atomic.Int64
+	done  atomic.Int64
+
+	closed atomic.Bool
+}
+
+// evalJob is one configuration handed to a session worker: where to write
+// the result and which batch to signal when done.
+type evalJob struct {
+	idx int
+	out *Result
+	wg  *sync.WaitGroup
+}
+
+// NewSession opens a persistent evaluation session for the space. Callers
+// must Close it to release the worker pool.
+func (r *Runner) NewSession(space *Space) (*EvalSession, error) {
+	return r.newSession(space, 0)
+}
+
+// newSession opens a session; maxWorkers > 0 caps the pool (the one-shot
+// run path clamps to the batch size so a 6-configuration sweep does not
+// spawn idle goroutines).
+func (r *Runner) newSession(space *Space, maxWorkers int) (*EvalSession, error) {
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	if r.Hierarchy == nil || (r.Trace == nil && r.Compiled == nil) {
+		return nil, fmt.Errorf("core: runner needs a hierarchy and a trace")
+	}
+	ct := r.Compiled
+	if ct == nil {
+		var err error
+		ct, err = trace.Compile(r.Trace)
+		if err != nil {
+			return nil, err
+		}
+	}
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if maxWorkers > 0 && workers > maxWorkers {
+		workers = maxWorkers
+	}
+	col := r.Telemetry
+	if col == nil {
+		col = telemetry.NewCollector(workers)
+	}
+	s := &EvalSession{
+		r:       r,
+		space:   space,
+		ct:      ct,
+		col:     col,
+		workers: workers,
+		jobs:    make(chan evalJob, 2*workers),
+		memo:    make(map[string]*profile.Metrics),
+	}
+	for w := 0; w < workers; w++ {
+		s.wg.Add(1)
+		go s.worker(w)
+	}
+	return s, nil
+}
+
+// Workers returns the size of the session's worker pool.
+func (s *EvalSession) Workers() int { return s.workers }
+
+// Eval profiles the given configuration indices as one wave across the
+// worker pool and returns results in request order (result i is
+// configuration indices[i]), making the reduction order deterministic
+// regardless of worker count. Duplicate indices within the wave are
+// evaluated independently; use an evalBatcher for deduplication.
+//
+// On failure every slot is still populated (per-result Err) and the
+// returned error wraps the first failure in request order.
+func (s *EvalSession) Eval(indices []int) ([]Result, error) {
+	if s.closed.Load() {
+		return nil, fmt.Errorf("core: eval on closed session")
+	}
+	if len(indices) == 0 {
+		return nil, nil
+	}
+	results := make([]Result, len(indices))
+	s.total.Add(int64(len(indices)))
+	var batch sync.WaitGroup
+	batch.Add(len(indices))
+	for i, idx := range indices {
+		s.jobs <- evalJob{idx: idx, out: &results[i], wg: &batch}
+	}
+	batch.Wait()
+	for _, res := range results {
+		if res.Err != nil {
+			return results, fmt.Errorf("core: %w", res.Err)
+		}
+	}
+	return results, nil
+}
+
+// Close shuts the worker pool down and waits for it to drain. A closed
+// session rejects further Eval calls; Close is idempotent.
+func (s *EvalSession) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	close(s.jobs)
+	s.wg.Wait()
+}
+
+// worker is one long-lived pool member: a telemetry shard and a Replayer
+// whose scratch tables persist across every batch of the session.
+func (s *EvalSession) worker(w int) {
+	defer s.wg.Done()
+	shard := s.col.Shard(w)
+	rep := profile.NewReplayer()
+	rep.Shard = shard
+	for job := range s.jobs {
+		res := s.evalOne(job.idx, rep, shard)
+		*job.out = res
+		if s.r.Observer != nil {
+			s.r.Observer(res)
+		}
+		if s.r.Progress != nil {
+			s.r.Progress(int(s.done.Add(1)), int(s.total.Load()))
+		}
+		job.wg.Done()
+	}
+}
+
+// evalOne profiles one configuration: materialize, memo lookup, results
+// cache lookup, simulate on miss.
+func (s *EvalSession) evalOne(idx int, rep *profile.Replayer, shard *telemetry.Shard) Result {
+	r := s.r
+	start := time.Now()
+	res := Result{Index: idx}
+	cfg, labels, err := s.space.Config(idx)
+	if err != nil {
+		res.Err = fmt.Errorf("configuration %d: %w", idx, err)
+		shard.ConfigError()
+	} else {
+		res.Labels = labels
+		id := cfg.ID()
+		s.memoMu.Lock()
+		memoized := s.memo[id]
+		s.memoMu.Unlock()
+		if memoized != nil {
+			res.Metrics = memoized
+			res.MemoHit = true
+			shard.MemoHit()
+		}
+		key := ""
+		if res.Metrics == nil && r.Cache != nil {
+			key = CompiledCacheKey(id, s.ct, r.Hierarchy)
+			if m, ok := r.Cache.Get(key); ok {
+				res.Metrics = m
+				res.CacheHit = true
+				shard.CacheHit()
+			} else {
+				shard.CacheMiss()
+			}
+		}
+		if res.Metrics == nil {
+			res.Metrics, res.Err = rep.Run(s.ct, cfg, r.Hierarchy, r.Options)
+			if res.Err != nil {
+				// Surface which configuration died, not just how: index
+				// and axis labels identify it in the space without a
+				// replay.
+				res.Err = fmt.Errorf("configuration %d [%s]: %w",
+					idx, strings.Join(labels, " "), res.Err)
+				shard.SimError()
+			} else {
+				if r.EvalLatency > 0 {
+					// Model an external evaluation backend (see the
+					// EvalLatency doc comment).
+					time.Sleep(r.EvalLatency)
+				}
+				if r.Cache != nil {
+					r.Cache.Put(key, res.Metrics)
+				}
+			}
+		}
+		if res.Err == nil && memoized == nil {
+			s.memoMu.Lock()
+			s.memo[id] = res.Metrics
+			s.memoMu.Unlock()
+		}
+	}
+	res.Duration = time.Since(start)
+	shard.AddBusy(res.Duration)
+	return res
+}

@@ -50,3 +50,29 @@ func BenchmarkHypervolume2D(b *testing.B) {
 		Hypervolume2D(pts, ref)
 	}
 }
+
+// BenchmarkFrontND pins the >= 3-objective filter. Random uniform points
+// stress the front-heavy regime (f grows with n); the dominated-heavy
+// inputs show the O(n + f²) fast path the bound test guards.
+func BenchmarkFrontND(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("random/n=%d", n), func(b *testing.B) {
+			pts := randomPoints(n, 3, 4)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Front(pts)
+			}
+		})
+	}
+	for _, n := range []int{10000, 100000} {
+		b.Run(fmt.Sprintf("dominated/n=%d", n), func(b *testing.B) {
+			pts := dominatedHeavy(n, 100)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Front(pts)
+			}
+		})
+	}
+}

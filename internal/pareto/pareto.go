@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 )
 
 // Point is one candidate in objective space. All objectives are
@@ -105,15 +106,29 @@ func sameValues(a, b Point) bool {
 	return true
 }
 
-// frontND is the general quadratic filter.
+// frontNDComparisons counts the dominance tests frontND performs, for the
+// complexity-bound guard test (TestFrontNDComparisonBound). Atomic so a
+// caller running Front concurrently never races the instrumentation.
+var frontNDComparisons atomic.Int64
+
+// frontND is the general (>= 3 objectives) filter. It exploits the
+// lexicographic sort: any dominator of p is componentwise <= p, hence
+// lexicographically before p, and because dominance is transitive every
+// dominated point is dominated by some *front* member that precedes it.
+// So each point is tested only against the front accumulated so far —
+// O(n·f) dominance tests for n points and a final front of size f,
+// instead of the naive all-pairs O(n²) over the sorted tail. The worst
+// case (every point non-dominated, f = n) remains quadratic, which is
+// inherent to pairwise filtering; BenchmarkFrontND tracks it and
+// TestFrontNDComparisonBound pins the O(n·f) behaviour on
+// dominated-heavy inputs.
 func frontND(sorted []Point) []Point {
 	var out []Point
-	for i, p := range sorted {
+	comparisons := int64(0)
+	for _, p := range sorted {
 		dominated := false
-		for j, q := range sorted {
-			if i == j {
-				continue
-			}
+		for _, q := range out {
+			comparisons++
 			if Dominates(q, p) {
 				dominated = true
 				break
@@ -123,6 +138,7 @@ func frontND(sorted []Point) []Point {
 			out = append(out, p)
 		}
 	}
+	frontNDComparisons.Add(comparisons)
 	return out
 }
 

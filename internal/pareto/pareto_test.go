@@ -1,6 +1,7 @@
 package pareto
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 
@@ -272,5 +273,91 @@ func TestKneeExtremesNotPicked(t *testing.T) {
 	k := Knee(front)
 	if front[k].Tag != "m" {
 		t.Fatalf("knee picked extreme %s", front[k].Tag)
+	}
+}
+
+// naiveFront is the reference all-pairs filter frontND is checked against.
+func naiveFront(points []Point) []Point {
+	sorted := sortedCopy(points)
+	var out []Point
+	for i, p := range sorted {
+		dominated := false
+		for j, q := range sorted {
+			if i != j && Dominates(q, p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// TestFrontNDMatchesNaive cross-checks the front-members-only scan in
+// frontND against the naive all-pairs filter on random 3-D and 4-D sets.
+func TestFrontNDMatchesNaive(t *testing.T) {
+	rng := stats.NewRNG(31)
+	for iter := 0; iter < 100; iter++ {
+		dim := 3 + iter%2
+		n := rng.Intn(60) + 1
+		points := make([]Point, n)
+		for i := range points {
+			vals := make([]float64, dim)
+			for d := range vals {
+				vals[d] = float64(rng.Intn(12))
+			}
+			points[i] = Point{Tag: fmt.Sprintf("p%d", i), Values: vals}
+		}
+		got := Front(points)
+		want := naiveFront(points)
+		if len(got) != len(want) {
+			t.Fatalf("iter %d: frontND %d vs naive %d", iter, len(got), len(want))
+		}
+		for i := range got {
+			if !sameValues(got[i], want[i]) || got[i].Tag != want[i].Tag {
+				t.Fatalf("iter %d: point %d differs: %+v vs %+v", iter, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// dominatedHeavy builds n 3-D points of which exactly f form the front
+// (an antichain on the first two coordinates) and the remaining n-f are
+// dominated by every front member.
+func dominatedHeavy(n, f int) []Point {
+	pts := make([]Point, 0, n)
+	for j := 0; j < f; j++ {
+		pts = append(pts, Point{Tag: fmt.Sprintf("f%d", j),
+			Values: []float64{float64(j), float64(f - j), 0}})
+	}
+	for k := 0; f+k < n; k++ {
+		pts = append(pts, Point{Tag: fmt.Sprintf("d%d", k),
+			Values: []float64{float64(f + k), float64(f + k), 1}})
+	}
+	return pts
+}
+
+// TestFrontNDComparisonBound is the quadratic-blowup guard: on a
+// dominated-heavy input the filter must stay within its documented
+// O(n + f²) dominance tests — each dominated point is killed by the
+// first front member it meets, each front member scans at most the front
+// built so far. The previous all-pairs implementation scanned every
+// point per front member (~f·n tests) and would exceed this bound by two
+// orders of magnitude.
+func TestFrontNDComparisonBound(t *testing.T) {
+	const n, f = 50000, 100
+	pts := dominatedHeavy(n, f)
+	frontNDComparisons.Store(0)
+	front := Front(pts)
+	if len(front) != f {
+		t.Fatalf("front size %d, want %d", len(front), f)
+	}
+	comparisons := frontNDComparisons.Load()
+	bound := int64(n + f*f)
+	if comparisons > bound {
+		t.Fatalf("frontND made %d dominance tests on n=%d f=%d, bound %d",
+			comparisons, n, f, bound)
 	}
 }
