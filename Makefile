@@ -1,9 +1,10 @@
 GO ?= go
 
 # tier1 is the CI gate: static checks plus the full test suite under the
-# race detector (the exploration fan-out is lock-free and must stay clean).
+# race detector (the exploration fan-out is lock-free and must stay clean),
+# plus a short real fuzz of every decoder.
 .PHONY: tier1
-tier1: vet race
+tier1: vet race fuzz-smoke
 
 .PHONY: vet
 vet:
@@ -30,6 +31,24 @@ bench-replay:
 .PHONY: bench-search
 bench-search:
 	$(GO) run scripts/benchsearch.go
+
+# bench-parse refreshes BENCH_parse.json: serial vs parallel ingestion of
+# a synthetic block-framed profile log (raw and latency-modelled storage)
+# plus the parallel trace-read bit-identity check. Fails if the
+# latency-modelled 8-worker speedup drops below 2x, any summary diverges,
+# or the parallel trace read is not bit-identical. CI runs it small; the
+# committed BENCH_parse.json comes from the default 1 GiB run.
+.PHONY: bench-parse
+bench-parse:
+	$(GO) run scripts/benchparse.go
+
+# fuzz-smoke runs each native fuzz target for a few seconds — enough to
+# execute the seed corpus plus a short mutation run on every decoder.
+.PHONY: fuzz-smoke
+fuzz-smoke:
+	$(GO) test ./internal/trace/ -run '^$$' -fuzz '^FuzzReadBinary$$' -fuzztime 5s
+	$(GO) test ./internal/trace/ -run '^$$' -fuzz '^FuzzReadText$$' -fuzztime 5s
+	$(GO) test ./internal/profile/ -run '^$$' -fuzz '^FuzzParseLog$$' -fuzztime 5s
 
 # bench-telemetry compares the instrumented steady-state replay loop
 # (telemetry shard attached, as Runner workers run it) against the plain

@@ -8,6 +8,7 @@
 //	dmprofile -workload easyport -preset lea
 //	dmprofile -workload vtc -config custom.json -log run.log
 //	dmprofile -workload easyport -preset kingsley -cache 32768:8:4
+//	dmprofile -parselog run.log -workers 8                # ingest a raw log
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	"dmexplore/internal/alloc"
@@ -44,6 +46,9 @@ func run(args []string, out io.Writer) error {
 		configPath   = fs.String("config", "", "allocator configuration JSON file")
 		hierName     = fs.String("hierarchy", "soc", "memory hierarchy: soc|soc3|flat")
 		logPath      = fs.String("log", "", "write the raw access log to this file")
+		logFormat    = fs.String("log-format", "v2", "raw log encoding: v2 (block-framed, parallel-parsable)|v1 (legacy stream)")
+		parseLogPath = fs.String("parselog", "", "parse a raw access log and print its summary instead of profiling")
+		workers      = fs.Int("workers", runtime.GOMAXPROCS(0), "parallel workers for -parselog ingestion")
 		cacheSpec    = fs.String("cache", "", "attach a cache to DRAM: sizeWords:lineWords:ways")
 		seriesPath   = fs.String("series", "", "write a footprint-over-time .dat to this file")
 		emitJSON     = fs.Bool("json", false, "emit metrics as JSON")
@@ -51,6 +56,10 @@ func run(args []string, out io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *parseLogPath != "" {
+		return parseLog(out, *parseLogPath, *workers)
 	}
 
 	hier, err := pickHierarchy(*hierName)
@@ -72,6 +81,14 @@ func run(args []string, out io.Writer) error {
 	}
 
 	opts := profile.Options{}
+	switch *logFormat {
+	case "v2":
+		opts.LogFormat = profile.LogV2
+	case "v1":
+		opts.LogFormat = profile.LogV1
+	default:
+		return fmt.Errorf("unknown log format %q", *logFormat)
+	}
 	if *logPath != "" {
 		f, err := os.Create(*logPath)
 		if err != nil {
@@ -166,6 +183,41 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "ops         %d mallocs, %d frees, %d failures\n", m.Mallocs, m.Frees, m.Failures)
 	if !m.Feasible() {
 		fmt.Fprintln(out, "NOTE: configuration is infeasible for this workload (allocation failures)")
+	}
+	return nil
+}
+
+// parseLog ingests a raw access log (v1 or block-framed v2) with the
+// parallel parser and prints the per-layer summary plus ingest rate.
+func parseLog(out io.Writer, path string, workers int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	ingest := telemetry.NewIngest()
+	s, err := profile.ParseLogParallel(f, fi.Size(), workers, ingest)
+	if err != nil {
+		return err
+	}
+	snap := ingest.Snapshot()
+	fmt.Fprintf(out, "log         %s (%d bytes, %d workers)\n", path, fi.Size(), workers)
+	fmt.Fprintf(out, "records     %d (%d words)\n", s.Records, s.TotalWords())
+	if snap.Blocks > 0 {
+		fmt.Fprintf(out, "ingest      %s\n", snap)
+	} else {
+		fmt.Fprintf(out, "ingest      legacy v1 stream (serial parse)\n")
+	}
+	fmt.Fprintf(out, "\n%-8s %16s %16s\n", "layer", "read words", "written words")
+	for layer := range s.Reads {
+		if s.Reads[layer] == 0 && s.Writes[layer] == 0 {
+			continue
+		}
+		fmt.Fprintf(out, "%-8d %16d %16d\n", layer, s.Reads[layer], s.Writes[layer])
 	}
 	return nil
 }

@@ -139,3 +139,48 @@ func TestMetricsAddr(t *testing.T) {
 		t.Fatalf("metrics address not announced:\n%s", out.String())
 	}
 }
+
+// TestLogEmitAndParseLog profiles with a raw log in both encodings, then
+// re-ingests each through the -parselog mode and checks the summaries
+// agree with each other and with the run's access count.
+func TestLogEmitAndParseLog(t *testing.T) {
+	dir := t.TempDir()
+	var words []string
+	for _, format := range []string{"v2", "v1"} {
+		logPath := filepath.Join(dir, "run."+format+".log")
+		var out bytes.Buffer
+		err := run([]string{"-workload", "easyport", "-scale", "5", "-preset", "lea",
+			"-log", logPath, "-log-format", format}, &out)
+		if err != nil {
+			t.Fatalf("%s profile: %v", format, err)
+		}
+		out.Reset()
+		if err := run([]string{"-parselog", logPath, "-workers", "4"}, &out); err != nil {
+			t.Fatalf("%s parselog: %v", format, err)
+		}
+		s := out.String()
+		if !strings.Contains(s, "records") {
+			t.Fatalf("%s parselog output:\n%s", format, s)
+		}
+		if format == "v2" && !strings.Contains(s, "blocks") {
+			t.Fatalf("v2 parselog missing ingest counters:\n%s", s)
+		}
+		for _, line := range strings.Split(s, "\n") {
+			if strings.HasPrefix(line, "records") {
+				words = append(words, line)
+			}
+		}
+	}
+	if len(words) != 2 || words[0] != words[1] {
+		t.Fatalf("v2 and v1 logs summarize differently: %q", words)
+	}
+}
+
+func TestBadLogFormatRejected(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-workload", "easyport", "-scale", "5", "-preset", "lea",
+		"-log-format", "v9"}, &out)
+	if err == nil {
+		t.Fatal("bad -log-format accepted")
+	}
+}

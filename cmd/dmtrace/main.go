@@ -2,9 +2,10 @@
 //
 // Examples:
 //
-//	dmtrace -workload easyport -o easyport.dmt            # binary trace
+//	dmtrace -workload easyport -o easyport.dmt            # binary trace (v2)
 //	dmtrace -workload vtc -format text -o vtc.trace       # text trace
 //	dmtrace -in easyport.dmt -stats                       # analyze a trace
+//	dmtrace -in big.dmt -workers 8 -o big.trace -format text   # convert
 package main
 
 import (
@@ -12,8 +13,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 
+	"dmexplore/internal/telemetry"
 	"dmexplore/internal/trace"
 	"dmexplore/internal/workload"
 )
@@ -33,7 +36,8 @@ func run(args []string, out io.Writer) error {
 		seed         = fs.Uint64("seed", 1, "generate: workload RNG seed")
 		inPath       = fs.String("in", "", "inspect: read a trace file instead of generating")
 		outPath      = fs.String("o", "", "write the trace to this file")
-		format       = fs.String("format", "binary", "output format: binary|text")
+		format       = fs.String("format", "binary", "output format: binary|v2|v1|text (binary = v2)")
+		workers      = fs.Int("workers", runtime.GOMAXPROCS(0), "parallel workers for reading block-framed (v2) traces")
 		showStats    = fs.Bool("stats", false, "print trace statistics")
 		validate     = fs.Bool("validate", true, "validate the trace")
 	)
@@ -44,14 +48,14 @@ func run(args []string, out io.Writer) error {
 	var tr *trace.Trace
 	switch {
 	case *inPath != "":
-		f, err := os.Open(*inPath)
+		ingest := telemetry.NewIngest()
+		var err error
+		tr, err = trace.ReadFile(*inPath, *workers, ingest)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		tr, err = trace.ReadAuto(f)
-		if err != nil {
-			return err
+		if snap := ingest.Snapshot(); snap.Blocks > 0 {
+			fmt.Fprintf(out, "ingest %s\n", snap)
 		}
 	case *workloadName != "":
 		gen, err := workload.New(*workloadName, *seed, *scale)
@@ -84,7 +88,9 @@ func run(args []string, out io.Writer) error {
 		}
 		defer f.Close()
 		switch *format {
-		case "binary":
+		case "binary", "v2":
+			err = trace.WriteBinaryV2(f, tr)
+		case "v1":
 			err = trace.WriteBinary(f, tr)
 		case "text":
 			err = trace.WriteText(f, tr)

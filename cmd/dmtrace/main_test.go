@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"dmexplore/internal/trace"
 )
 
 func TestGenerateAndStats(t *testing.T) {
@@ -58,6 +60,50 @@ func TestBinaryDenserOnDisk(t *testing.T) {
 	ti, _ := os.Stat(txt)
 	if bi.Size() >= ti.Size() {
 		t.Fatalf("binary %d not denser than text %d", bi.Size(), ti.Size())
+	}
+}
+
+// TestConvertRoundTripBitIdentical drives the CLI through every format
+// conversion chain and pins that the events survive bit-identically:
+// v2 -> text -> v1 -> v2 must reproduce the original event sequence.
+func TestConvertRoundTripBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	paths := map[string]string{
+		"v2":   filepath.Join(dir, "a.dmt"),
+		"text": filepath.Join(dir, "b.trace"),
+		"v1":   filepath.Join(dir, "c.dmt"),
+		"back": filepath.Join(dir, "d.dmt"),
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-workload", "easyport", "-scale", "5", "-o", paths["v2"]}, &out); err != nil {
+		t.Fatal(err)
+	}
+	chain := [][2]string{
+		{paths["v2"], "text"}, {paths["text"], "v1"}, {paths["v1"], "v2"},
+	}
+	dsts := []string{paths["text"], paths["v1"], paths["back"]}
+	for i, step := range chain {
+		if err := run([]string{"-in", step[0], "-format", step[1], "-o", dsts[i]}, &out); err != nil {
+			t.Fatalf("convert %s -> %s: %v", step[0], step[1], err)
+		}
+	}
+	want, err := trace.ReadFile(paths["v2"], 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range dsts {
+		got, err := trace.ReadFile(p, 4, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if got.Name != want.Name || len(got.Events) != len(want.Events) {
+			t.Fatalf("%s: shape diverged (%d events vs %d)", p, len(got.Events), len(want.Events))
+		}
+		for i := range got.Events {
+			if got.Events[i] != want.Events[i] {
+				t.Fatalf("%s: event %d diverged: %+v vs %+v", p, i, got.Events[i], want.Events[i])
+			}
+		}
 	}
 }
 

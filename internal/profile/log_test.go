@@ -1,0 +1,141 @@
+package profile
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"dmexplore/internal/alloc"
+	"dmexplore/internal/memhier"
+)
+
+// syntheticLog returns a v2 (or v1) synthetic log and its serial summary.
+func syntheticLog(t *testing.T, records int, format LogFormat) ([]byte, *LogSummary) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteSyntheticLog(&buf, records, format, 99); err != nil {
+		t.Fatal(err)
+	}
+	s, err := ParseLog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Records != uint64(records) {
+		t.Fatalf("synthetic log parsed %d records, wrote %d", s.Records, records)
+	}
+	return buf.Bytes(), s
+}
+
+func TestParseLogParallelMatchesSerial(t *testing.T) {
+	defer func(w int64) { logFetchWindowBytes = w }(logFetchWindowBytes)
+	logFetchWindowBytes = 64 << 10 // several fetch windows on a small log
+
+	data, want := syntheticLog(t, 400_000, LogV2) // a few MB, many blocks
+	for _, workers := range []int{1, 2, 4, 8} {
+		got, err := ParseLogParallel(bytes.NewReader(data), int64(len(data)), workers, nil)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !SameSummary(got, want) {
+			t.Fatalf("workers=%d: parallel summary diverged: %d records vs %d", workers, got.Records, want.Records)
+		}
+	}
+}
+
+func TestParseLogV1StillReadable(t *testing.T) {
+	data, want := syntheticLog(t, 50_000, LogV1)
+	if bytes.HasPrefix(data, []byte(logMagic)) {
+		t.Fatal("v1 log carries the v2 magic")
+	}
+	// The parallel entry point must fall back to the serial parser.
+	got, err := ParseLogParallel(bytes.NewReader(data), int64(len(data)), 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SameSummary(got, want) {
+		t.Fatal("v1 fallback summary diverged")
+	}
+}
+
+func TestLogFormatsAgree(t *testing.T) {
+	// The same records in both encodings must summarize identically.
+	v1, s1 := syntheticLog(t, 30_000, LogV1)
+	v2, s2 := syntheticLog(t, 30_000, LogV2)
+	if !SameSummary(s1, s2) {
+		t.Fatal("v1 and v2 of the same records disagree")
+	}
+	if len(v2) >= len(v1)+4096 {
+		t.Fatalf("v2 framing overhead too large: %d vs %d bytes", len(v2), len(v1))
+	}
+}
+
+func TestParseLogV2DetectsCorruption(t *testing.T) {
+	data, _ := syntheticLog(t, 100_000, LogV2)
+	corrupt := bytes.Clone(data)
+	corrupt[len(corrupt)/3] ^= 0x10
+	if _, err := ParseLog(bytes.NewReader(corrupt)); err == nil {
+		t.Fatal("serial parse accepted corruption")
+	}
+	if _, err := ParseLogParallel(bytes.NewReader(corrupt), int64(len(corrupt)), 4, nil); err == nil {
+		t.Fatal("parallel parse accepted corruption")
+	}
+}
+
+func TestParseLogRejectsUnknownVersion(t *testing.T) {
+	bad := append([]byte(logMagic), 9, 0, 0, 0)
+	if _, err := ParseLog(bytes.NewReader(bad)); err == nil {
+		t.Fatal("unknown log version accepted")
+	}
+	if _, err := ParseLogParallel(bytes.NewReader(bad), int64(len(bad)), 4, nil); err == nil {
+		t.Fatal("unknown log version accepted by parallel parser")
+	}
+}
+
+// failingWriter accepts n bytes, then fails every write.
+type failingWriter struct {
+	n   int
+	err error
+}
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, f.err
+	}
+	if len(p) > f.n {
+		p = p[:f.n]
+	}
+	f.n -= len(p)
+	return len(p), nil
+}
+
+func TestRunSurfacesLogWriteErrorEarly(t *testing.T) {
+	tr := smallEasyport(t)
+	h := memhier.EmbeddedSoC()
+	for _, format := range []LogFormat{LogV2, LogV1} {
+		fw := &failingWriter{n: 4096, err: io.ErrShortWrite}
+		_, err := Run(tr, alloc.LeaConfig(memhier.LayerDRAM), h, Options{
+			LogWriter: fw,
+			LogFormat: format,
+		})
+		if err == nil {
+			t.Fatalf("format %d: dead log writer not surfaced", format)
+		}
+	}
+}
+
+func TestRunLogRoundTripsThroughParallelParse(t *testing.T) {
+	tr := smallEasyport(t)
+	h := memhier.EmbeddedSoC()
+	var buf bytes.Buffer
+	m, err := Run(tr, alloc.KingsleyConfig(memhier.LayerDRAM), h, Options{LogWriter: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseLogParallel(bytes.NewReader(buf.Bytes()), int64(buf.Len()), 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalWords() != m.Accesses {
+		t.Fatalf("parallel log words %d != metrics accesses %d", got.TotalWords(), m.Accesses)
+	}
+}

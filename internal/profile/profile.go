@@ -101,6 +101,11 @@ type Options struct {
 	// word access) in the format parsed by ParseLog.
 	LogWriter io.Writer
 
+	// LogFormat selects the raw log encoding: LogV2 (default) frames
+	// records into CRC32C blocks with a footer index so ParseLogParallel
+	// can ingest the file on every core; LogV1 is the legacy bare stream.
+	LogFormat LogFormat
+
 	// Caches attaches a simulated cache in front of the named layers.
 	Caches map[string]CacheSpec
 

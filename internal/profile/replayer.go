@@ -54,7 +54,7 @@ func (r *Replayer) reset(n int) {
 func applyOptions(ctx *simheap.Context, h *memhier.Hierarchy, opts Options) (*logWriter, error) {
 	var lw *logWriter
 	if opts.LogWriter != nil {
-		lw = newLogWriter(opts.LogWriter)
+		lw = newLogWriter(opts.LogWriter, opts.LogFormat)
 		ctx.SetTracer(lw)
 	}
 	for layerName, spec := range opts.Caches {
@@ -113,7 +113,7 @@ func (r *Replayer) Run(ct *trace.Compiled, cfg alloc.Config, h *memhier.Hierarch
 		m.Series = make([]FootprintSample, 0, len(ct.Ops)/opts.SampleEvery+2)
 	}
 	r.reset(ct.NumIDs)
-	if err := r.replay(ct, a, ctx, m, opts.SampleEvery); err != nil {
+	if err := r.replay(ct, a, ctx, m, opts.SampleEvery, lw); err != nil {
 		return nil, err
 	}
 
@@ -142,13 +142,24 @@ func (r *Replayer) Run(ct *trace.Compiled, cfg alloc.Config, h *memhier.Hierarch
 	return m, nil
 }
 
+// logErrCheckMask throttles the log writer's deferred-error poll to one
+// branch per 64Ki events: a dead log file stops a multi-gigabyte emit
+// within a bounded window instead of at the final Flush, and the check
+// stays invisible on the hot path.
+const logErrCheckMask = 1<<16 - 1
+
 // replay is the steady-state hot loop: every per-event branch works on
 // flat pre-sized state, and footprint samples read the context's running
 // reserved-bytes total instead of looping over layers.
-func (r *Replayer) replay(ct *trace.Compiled, a alloc.Allocator, ctx *simheap.Context, m *Metrics, sampleEvery int) error {
+func (r *Replayer) replay(ct *trace.Compiled, a alloc.Allocator, ctx *simheap.Context, m *Metrics, sampleEvery int, lw *logWriter) error {
 	var liveRequested int64
 	for i := range ct.Ops {
 		op := &ct.Ops[i]
+		if lw != nil && i&logErrCheckMask == logErrCheckMask {
+			if err := lw.Err(); err != nil {
+				return fmt.Errorf("profile: writing log (event %d): %w", i, err)
+			}
+		}
 		if sampleEvery > 0 && i%sampleEvery == 0 {
 			m.Series = append(m.Series, FootprintSample{
 				Event:          i,

@@ -294,13 +294,13 @@ func TestReplaySteadyStateZeroAllocs(t *testing.T) {
 		// Warm pass: arenas grow, maps and scratch tables size themselves.
 		r.reset(ct.NumIDs)
 		var warm Metrics
-		if err := r.replay(ct, a, ctx, &warm, 0); err != nil {
+		if err := r.replay(ct, a, ctx, &warm, 0, nil); err != nil {
 			t.Fatalf("%s: warm replay: %v", cfg.Label, err)
 		}
 		avg := testing.AllocsPerRun(5, func() {
 			r.reset(ct.NumIDs)
 			var m Metrics
-			if err := r.replay(ct, a, ctx, &m, 0); err != nil {
+			if err := r.replay(ct, a, ctx, &m, 0, nil); err != nil {
 				t.Errorf("%s: replay: %v", cfg.Label, err)
 			}
 		})
@@ -337,14 +337,14 @@ func TestReplayTelemetryZeroAllocs(t *testing.T) {
 		r.Shard = col.Shard(0)
 		r.reset(ct.NumIDs)
 		var warm Metrics
-		if err := r.replay(ct, a, ctx, &warm, 0); err != nil {
+		if err := r.replay(ct, a, ctx, &warm, 0, nil); err != nil {
 			t.Fatalf("%s: warm replay: %v", cfg.Label, err)
 		}
 		avg := testing.AllocsPerRun(5, func() {
 			start := time.Now()
 			r.reset(ct.NumIDs)
 			var m Metrics
-			if err := r.replay(ct, a, ctx, &m, 0); err != nil {
+			if err := r.replay(ct, a, ctx, &m, 0, nil); err != nil {
 				t.Errorf("%s: replay: %v", cfg.Label, err)
 			}
 			r.Shard.ObserveSim(time.Since(start), len(ct.Ops))

@@ -1,0 +1,48 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"dmexplore/internal/blockio"
+)
+
+// The compiler enforces what the doc comment promises: Ingest satisfies
+// blockio.Stats.
+var _ blockio.Stats = (*Ingest)(nil)
+
+func TestIngestCountsConcurrently(t *testing.T) {
+	g := NewIngest()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				g.ObserveBlock(256, 10)
+			}
+			g.CRCFailure()
+		}()
+	}
+	wg.Wait()
+	s := g.Snapshot()
+	if s.Blocks != 8000 || s.Bytes != 8000*256 || s.Records != 80000 || s.CRCFailures != 8 {
+		t.Fatalf("bad snapshot: %+v", s)
+	}
+	if s.ElapsedSec <= 0 || s.BytesPerSec <= 0 {
+		t.Fatalf("throughput not derived: %+v", s)
+	}
+	str := s.String()
+	if !strings.Contains(str, "80000 records") || !strings.Contains(str, "CRC FAILURES") {
+		t.Fatalf("bad String(): %q", str)
+	}
+}
+
+func TestIngestSnapshotCleanString(t *testing.T) {
+	g := NewIngest()
+	g.ObserveBlock(1<<20, 5)
+	if str := g.Snapshot().String(); strings.Contains(str, "FAILURES") {
+		t.Fatalf("clean ingest mentions failures: %q", str)
+	}
+}

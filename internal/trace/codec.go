@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"dmexplore/internal/blockio"
 )
 
 // Text format: a line-oriented codec easy to inspect and to feed to the
@@ -17,10 +19,15 @@ import (
 //	x <id> <reads> <writes>
 //	t <cycles>
 //
-// Binary format: "DMTR" magic, version byte, name, event count, then one
-// varint-packed record per event. Roughly 4-8x denser than text; the
-// profiler's raw logs (which reach gigabytes, as in the paper) use the
-// same varint framing.
+// Binary format: "DMTR" magic, version byte, name, then varint-packed
+// event records. Roughly 4-8x denser than text; the profiler's raw logs
+// (which reach gigabytes, as in the paper) use the same varint framing.
+//
+// Version 1 is a single unframed record stream prefixed with a total
+// event count. Version 2 groups the same records into self-delimiting
+// CRC32C blocks with a seekable footer index (internal/blockio), so a
+// reader can verify integrity per block and split a multi-gigabyte file
+// into independent chunks for parallel decoding (ReadBinaryParallel).
 
 // WriteText writes the trace in the text format.
 func WriteText(w io.Writer, t *Trace) error {
@@ -107,12 +114,28 @@ func ReadText(r io.Reader) (*Trace, error) {
 }
 
 const (
-	binaryMagic   = "DMTR"
-	binaryVersion = 1
+	binaryMagic     = "DMTR"
+	binaryVersion   = 1
+	binaryVersionV2 = 2
+
+	// maxNameLen bounds the embedded trace name.
+	maxNameLen = 1 << 16
+
+	// maxBinaryEvents bounds the event count a binary trace may claim.
+	// Every event costs at least two bytes on disk, so this cap already
+	// admits multi-terabyte files; a larger claim is a corrupt or hostile
+	// header and is rejected outright rather than silently tolerated.
+	maxBinaryEvents = 1 << 33
+
+	// preallocEvents caps the Events preallocation taken on faith from a
+	// v1 header. A plausible-but-wrong count must not commit gigabytes
+	// before the first record is decoded; beyond the cap the slice grows
+	// with the records that actually parse.
+	preallocEvents = 1 << 24
 )
 
 // ReadAuto sniffs the trace format (binary magic vs text) and parses
-// accordingly.
+// accordingly. Both binary versions and the text format are accepted.
 func ReadAuto(r io.Reader) (*Trace, error) {
 	br := bufio.NewReader(r)
 	head, err := br.Peek(len(binaryMagic))
@@ -122,7 +145,70 @@ func ReadAuto(r io.Reader) (*Trace, error) {
 	return ReadText(br)
 }
 
-// WriteBinary writes the trace in the varint binary format.
+// appendEvent appends event i's binary record (kind byte plus varint
+// fields) to buf. The encoding is shared by both binary versions.
+func appendEvent(buf []byte, e *Event, i int) ([]byte, error) {
+	buf = append(buf, byte(e.Kind))
+	switch e.Kind {
+	case KindAlloc:
+		buf = binary.AppendUvarint(buf, e.ID)
+		buf = binary.AppendUvarint(buf, uint64(e.Size))
+	case KindFree:
+		buf = binary.AppendUvarint(buf, e.ID)
+	case KindAccess:
+		buf = binary.AppendUvarint(buf, e.ID)
+		buf = binary.AppendUvarint(buf, e.Reads)
+		buf = binary.AppendUvarint(buf, e.Writes)
+	case KindTick:
+		buf = binary.AppendUvarint(buf, e.Cycles)
+	default:
+		return nil, fmt.Errorf("trace: event %d has unknown kind %d", i, e.Kind)
+	}
+	return buf, nil
+}
+
+// decodeEvent decodes one binary record from the front of buf into e
+// (fully assigning it) and returns the bytes consumed.
+func decodeEvent(buf []byte, e *Event) (int, error) {
+	if len(buf) == 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	*e = Event{Kind: EventKind(buf[0])}
+	n := 1
+	bad := false
+	get := func() uint64 {
+		v, k := binary.Uvarint(buf[n:])
+		if k <= 0 {
+			bad = true
+			return 0
+		}
+		n += k
+		return v
+	}
+	switch e.Kind {
+	case KindAlloc:
+		e.ID = get()
+		e.Size = int64(get())
+	case KindFree:
+		e.ID = get()
+	case KindAccess:
+		e.ID = get()
+		e.Reads = get()
+		e.Writes = get()
+	case KindTick:
+		e.Cycles = get()
+	default:
+		return 0, fmt.Errorf("unknown kind %d", e.Kind)
+	}
+	if bad {
+		return 0, io.ErrUnexpectedEOF
+	}
+	return n, nil
+}
+
+// WriteBinary writes the trace in the v1 (unframed varint stream) binary
+// format. New files should prefer WriteBinaryV2; v1 stays as the
+// compatibility writer for tools pinned to the old layout.
 func WriteBinary(w io.Writer, t *Trace) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(binaryMagic); err != nil {
@@ -131,50 +217,92 @@ func WriteBinary(w io.Writer, t *Trace) error {
 	if err := bw.WriteByte(binaryVersion); err != nil {
 		return err
 	}
-	var buf [binary.MaxVarintLen64]byte
-	putUvarint := func(v uint64) error {
-		n := binary.PutUvarint(buf[:], v)
-		_, err := bw.Write(buf[:n])
-		return err
-	}
-	if err := putUvarint(uint64(len(t.Name))); err != nil {
+	scratch := make([]byte, 0, 64)
+	scratch = binary.AppendUvarint(scratch, uint64(len(t.Name)))
+	if _, err := bw.Write(scratch); err != nil {
 		return err
 	}
 	if _, err := bw.WriteString(t.Name); err != nil {
 		return err
 	}
-	if err := putUvarint(uint64(len(t.Events))); err != nil {
+	scratch = binary.AppendUvarint(scratch[:0], uint64(len(t.Events)))
+	if _, err := bw.Write(scratch); err != nil {
 		return err
 	}
-	for i, e := range t.Events {
-		if err := bw.WriteByte(byte(e.Kind)); err != nil {
+	for i := range t.Events {
+		var err error
+		scratch, err = appendEvent(scratch[:0], &t.Events[i], i)
+		if err != nil {
 			return err
 		}
-		var fields []uint64
-		switch e.Kind {
-		case KindAlloc:
-			fields = []uint64{e.ID, uint64(e.Size)}
-		case KindFree:
-			fields = []uint64{e.ID}
-		case KindAccess:
-			fields = []uint64{e.ID, e.Reads, e.Writes}
-		case KindTick:
-			fields = []uint64{e.Cycles}
-		default:
-			return fmt.Errorf("trace: event %d has unknown kind %d", i, e.Kind)
-		}
-		for _, f := range fields {
-			if err := putUvarint(f); err != nil {
-				return err
-			}
+		if _, err := bw.Write(scratch); err != nil {
+			return err
 		}
 	}
 	return bw.Flush()
 }
 
-// ReadBinary parses the varint binary format.
+// WriteBinaryV2 writes the trace in the block-framed v2 binary format:
+// the v1 record encoding grouped into CRC32C blocks with a seekable
+// footer index (see internal/blockio), parseable sequentially or
+// block-parallel.
+func WriteBinaryV2(w io.Writer, t *Trace) error {
+	return writeBinaryV2(w, t, 0)
+}
+
+// writeBinaryV2 is WriteBinaryV2 with a tunable block target, so tests
+// can force many small blocks.
+func writeBinaryV2(w io.Writer, t *Trace, target int) error {
+	bw := blockio.NewWriter(w, target)
+	if len(t.Name) > maxNameLen {
+		return fmt.Errorf("trace: name of %d bytes exceeds the %d-byte cap", len(t.Name), maxNameLen)
+	}
+	header := make([]byte, 0, len(binaryMagic)+1+binary.MaxVarintLen64+len(t.Name))
+	header = append(header, binaryMagic...)
+	header = append(header, binaryVersionV2)
+	header = binary.AppendUvarint(header, uint64(len(t.Name)))
+	header = append(header, t.Name...)
+	bw.WriteHeader(header)
+	scratch := make([]byte, 0, 64)
+	for i := range t.Events {
+		var err error
+		scratch, err = appendEvent(scratch[:0], &t.Events[i], i)
+		if err != nil {
+			return err
+		}
+		bw.Record(scratch)
+		if err := bw.Err(); err != nil {
+			return err
+		}
+	}
+	return bw.Close()
+}
+
+// countingReader counts the bytes its wrappee delivered, so errors deep
+// in a gigabyte stream can name the exact byte offset.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// ReadBinary parses the binary format, dispatching on the version byte:
+// v1 unframed streams and v2 block-framed files are both accepted.
 func ReadBinary(r io.Reader) (*Trace, error) {
-	br := bufio.NewReader(r)
+	return readBinary(r, nil)
+}
+
+func readBinary(r io.Reader, stats blockio.Stats) (*Trace, error) {
+	cr := &countingReader{r: r}
+	br := bufio.NewReaderSize(cr, 1<<20)
+	// offset is the stream position of the next unconsumed byte, for
+	// error messages that point into the file.
+	offset := func() int64 { return cr.n - int64(br.Buffered()) }
 	magic := make([]byte, len(binaryMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("trace: reading magic: %w", err)
@@ -186,32 +314,55 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 	if err != nil {
 		return nil, err
 	}
-	if version != binaryVersion {
+	if version != binaryVersion && version != binaryVersionV2 {
 		return nil, fmt.Errorf("trace: unsupported version %d", version)
 	}
-	nameLen, err := binary.ReadUvarint(br)
+	name, err := readBinaryName(br)
 	if err != nil {
 		return nil, err
 	}
-	if nameLen > 1<<16 {
-		return nil, fmt.Errorf("trace: implausible name length %d", nameLen)
+	if version == binaryVersion {
+		return readBinaryV1(br, name, offset)
+	}
+	return readBinaryV2(br, name, offset, stats)
+}
+
+// readBinaryName reads the uvarint-prefixed trace name both binary
+// versions share.
+func readBinaryName(br *bufio.Reader) (string, error) {
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", fmt.Errorf("trace: reading name length: %w", err)
+	}
+	if nameLen > maxNameLen {
+		return "", fmt.Errorf("trace: implausible name length %d", nameLen)
 	}
 	name := make([]byte, nameLen)
 	if _, err := io.ReadFull(br, name); err != nil {
-		return nil, err
+		return "", fmt.Errorf("trace: reading name: %w", err)
 	}
+	return string(name), nil
+}
+
+// readBinaryV1 parses the unframed v1 record stream following the header.
+func readBinaryV1(br *bufio.Reader, name string, offset func() int64) (*Trace, error) {
 	count, err := binary.ReadUvarint(br)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("trace: reading event count: %w", err)
 	}
-	t := &Trace{Name: string(name)}
-	if count < 1<<24 {
-		t.Events = make([]Event, 0, count)
+	if count > maxBinaryEvents {
+		return nil, fmt.Errorf("trace: implausible event count %d (max %d) — corrupt or hostile header", count, uint64(maxBinaryEvents))
 	}
+	t := &Trace{Name: name}
+	prealloc := count
+	if prealloc > preallocEvents {
+		prealloc = preallocEvents
+	}
+	t.Events = make([]Event, 0, prealloc)
 	for i := uint64(0); i < count; i++ {
 		kind, err := br.ReadByte()
 		if err != nil {
-			return nil, fmt.Errorf("trace: event %d: %w", i, err)
+			return nil, fmt.Errorf("trace: truncated at event %d of %d (byte offset %d): %w", i, count, offset(), unexpectedEOF(err))
 		}
 		e := Event{Kind: EventKind(kind)}
 		read := func() (uint64, error) { return binary.ReadUvarint(br) }
@@ -233,12 +384,53 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 		case KindTick:
 			e.Cycles, err = read()
 		default:
-			return nil, fmt.Errorf("trace: event %d: unknown kind %d", i, kind)
+			return nil, fmt.Errorf("trace: event %d (byte offset %d): unknown kind %d", i, offset(), kind)
 		}
 		if err != nil {
-			return nil, fmt.Errorf("trace: event %d: %w", i, err)
+			return nil, fmt.Errorf("trace: truncated at event %d of %d (byte offset %d): %w", i, count, offset(), unexpectedEOF(err))
 		}
 		t.Events = append(t.Events, e)
 	}
 	return t, nil
+}
+
+// readBinaryV2 streams the block-framed v2 format following the header.
+func readBinaryV2(br *bufio.Reader, name string, offset func() int64, stats blockio.Stats) (*Trace, error) {
+	t := &Trace{Name: name}
+	blocks := blockio.NewReader(br, stats)
+	block := 0
+	for {
+		records, payload, err := blocks.Next()
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: byte offset %d: %w", offset(), err)
+		}
+		if uint64(len(t.Events))+uint64(records) > maxBinaryEvents {
+			return nil, fmt.Errorf("trace: more than %d events — corrupt or hostile file", uint64(maxBinaryEvents))
+		}
+		for k := 0; k < records; k++ {
+			var e Event
+			n, err := decodeEvent(payload, &e)
+			if err != nil {
+				return nil, fmt.Errorf("trace: block %d, record %d (event %d): %w", block, k, len(t.Events), err)
+			}
+			payload = payload[n:]
+			t.Events = append(t.Events, e)
+		}
+		if len(payload) != 0 {
+			return nil, fmt.Errorf("trace: block %d: %d payload bytes beyond its %d records", block, len(payload), records)
+		}
+		block++
+	}
+}
+
+// unexpectedEOF converts a clean EOF into io.ErrUnexpectedEOF: running
+// out of bytes mid-structure is truncation.
+func unexpectedEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
 }
