@@ -32,6 +32,17 @@ bench-replay:
 bench-search:
 	$(GO) run scripts/benchsearch.go
 
+# bench-incremental refreshes BENCH_incremental.json: raw columnar replay
+# throughput against the frozen pre-Replayer baseline, and the seeded
+# hill-climb over the full Easyport space with incremental re-evaluation
+# off and on, in both the raw-simulation and the latency-modelled backend
+# regime (the one BENCH_search.json's batched baseline is recorded in).
+# Fails if columnar replay drops below 1.5x, the backend-regime effective
+# evals/sec gain drops below 3x, or any run diverges bit-wise.
+.PHONY: bench-incremental
+bench-incremental:
+	$(GO) run scripts/benchincremental.go
+
 # bench-parse refreshes BENCH_parse.json: serial vs parallel ingestion of
 # a synthetic block-framed profile log (raw and latency-modelled storage)
 # plus the parallel trace-read bit-identity check. Fails if the

@@ -55,6 +55,7 @@ func run(args []string, out io.Writer) error {
 		outDir       = fs.String("out", "", "directory for CSV/Gnuplot reports (none when empty)")
 		cachePath    = fs.String("cache", "", "results cache file: resume interrupted sweeps, skip repeated configurations")
 		tracePath    = fs.String("trace", "", "replay a trace file instead of generating the workload")
+		incremental  = fs.Bool("incremental", false, "partial re-evaluation: configurations sharing a fixed-pool signature replay only the ops that reach the general pool (bit-identical results)")
 		quiet        = fs.Bool("quiet", false, "suppress progress output")
 		metricsAddr  = fs.String("metrics-addr", "", "serve live telemetry (expvar) and pprof at this address, e.g. localhost:6060")
 	)
@@ -140,7 +141,7 @@ func run(args []string, out io.Writer) error {
 		workerN = runtime.GOMAXPROCS(0)
 	}
 	col := telemetry.NewCollector(workerN)
-	runner := &core.Runner{Hierarchy: hier, Trace: tr, Compiled: ct, Workers: *workers, Telemetry: col}
+	runner := &core.Runner{Hierarchy: hier, Trace: tr, Compiled: ct, Workers: *workers, Telemetry: col, Incremental: *incremental}
 	if *metricsAddr != "" {
 		srv, err := telemetry.Serve(*metricsAddr, col)
 		if err != nil {

@@ -209,6 +209,62 @@ func (c Config) Build(ctx *simheap.Context) (*Composed, error) {
 	return NewComposed(name, ctx, fixed, general)
 }
 
+// BuildWithFallback instantiates the configuration's fixed pools on ctx
+// (in routing order, exactly as Build would) and composes them over the
+// supplied fallback pool instead of building the general pool. The
+// incremental evaluator pairs the real fixed pools with an inert
+// recording fallback to replay the fixed-side-invariant part of a trace
+// once per fixed-pool signature.
+func (c Config) BuildWithFallback(ctx *simheap.Context, general FallbackPool) (*Composed, error) {
+	h := ctx.Hierarchy()
+	if err := c.Validate(h); err != nil {
+		return nil, err
+	}
+	fixed := make([]*FixedPool, 0, len(c.Fixed))
+	for i, fc := range c.Fixed {
+		layer, _ := h.ByName(fc.Layer)
+		fp, err := NewFixedPool(ctx, fc.params(layer))
+		if err != nil {
+			return nil, fmt.Errorf("alloc: building fixed pool %d: %w", i, err)
+		}
+		fixed = append(fixed, fp)
+	}
+	name := c.Label
+	if name == "" {
+		name = c.ID()
+	}
+	return NewComposed(name, ctx, fixed, general)
+}
+
+// BuildGeneral instantiates only the configuration's general (fallback)
+// pool on ctx, with no fixed pools in front of it. The incremental
+// evaluator replays a partition's recorded fallback ops against this
+// standalone pool; the pool code paths are identical to a full Build,
+// only the context it charges is private to the partial replay.
+func (c Config) BuildGeneral(ctx *simheap.Context) (FallbackPool, error) {
+	h := ctx.Hierarchy()
+	if err := c.Validate(h); err != nil {
+		return nil, err
+	}
+	layer, _ := h.ByName(c.General.Layer)
+	if bp, ok := c.General.buddyParams(layer); ok {
+		pool, err := NewBuddyPool(ctx, bp)
+		if err != nil {
+			return nil, fmt.Errorf("alloc: building buddy pool: %w", err)
+		}
+		return pool, nil
+	}
+	classes, err := ParseClasses(c.General.Classes)
+	if err != nil {
+		return nil, err
+	}
+	pool, err := NewGeneralPool(ctx, c.General.params(layer, classes))
+	if err != nil {
+		return nil, fmt.Errorf("alloc: building general pool: %w", err)
+	}
+	return pool, nil
+}
+
 // ID returns a canonical compact identifier of the parameter vector,
 // stable across runs; the explorer uses it as the configuration key.
 func (c Config) ID() string {

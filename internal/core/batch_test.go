@@ -137,13 +137,13 @@ func TestBatcherLimit(t *testing.T) {
 		maxNew int
 		want   int // prefix length
 	}{
-		{[]int{1, 2, 3, 4}, 1, 3},  // cached, cached, 1 new, cut
-		{[]int{3, 3, 4}, 1, 2},     // duplicate new counts once
-		{[]int{1, 2}, 0, 2},        // all cached: nothing new to cap
-		{[]int{3, 1}, 0, 0},        // first is new, no budget
-		{[]int{3, 4, 5}, 10, 3},    // budget beyond batch
-		{nil, 5, 0},                // empty in, empty out
-		{[]int{5, 1, 6, 7}, 2, 3},  // two new allowed, third cut
+		{[]int{1, 2, 3, 4}, 1, 3}, // cached, cached, 1 new, cut
+		{[]int{3, 3, 4}, 1, 2},    // duplicate new counts once
+		{[]int{1, 2}, 0, 2},       // all cached: nothing new to cap
+		{[]int{3, 1}, 0, 0},       // first is new, no budget
+		{[]int{3, 4, 5}, 10, 3},   // budget beyond batch
+		{nil, 5, 0},               // empty in, empty out
+		{[]int{5, 1, 6, 7}, 2, 3}, // two new allowed, third cut
 	}
 	for i, c := range cases {
 		if got := b.limit(c.in, c.maxNew); len(got) != c.want {

@@ -138,7 +138,7 @@ func TestResultsCacheStats(t *testing.T) {
 	if _, ok := c.Get("k2"); ok {
 		t.Fatal("phantom k2")
 	}
-	c.Put("k1", m1) // same metrics pointer: not stale
+	c.Put("k1", m1)                            // same metrics pointer: not stale
 	c.Put("k1", &profile.Metrics{Accesses: 2}) // superseded: stale
 	s := c.Stats()
 	if s.Hits != 1 || s.Misses != 1 || s.Stale != 1 || s.Loaded != 0 {

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dmexplore/internal/memhier"
+	"dmexplore/internal/trace"
+	"dmexplore/internal/workload"
+)
+
+// easyportRunner returns a Runner over a scaled-down easyport trace —
+// the workload whose spaces carry fixed-pool axes, so guided searches
+// cross partition signatures while walking general-pool axes.
+func easyportRunner(t *testing.T, incremental bool) *Runner {
+	t.Helper()
+	p := workload.DefaultEasyportParams()
+	p.Packets = 300
+	tr, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := trace.Compile(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Runner{
+		Hierarchy:   memhier.EmbeddedSoC(),
+		Trace:       tr,
+		Compiled:    ct,
+		Workers:     4,
+		Incremental: incremental,
+	}
+}
+
+// assertResultsIdentical compares two strategy runs field by field,
+// requiring bit-identical metrics (the incremental path's contract).
+// Bookkeeping that legitimately differs between the paths — Duration,
+// Incremental, EventsSkipped — is excluded.
+func assertResultsIdentical(t *testing.T, strategy string, full, inc []Result) {
+	t.Helper()
+	if len(full) != len(inc) {
+		t.Fatalf("%s: %d full results vs %d incremental", strategy, len(full), len(inc))
+	}
+	for i := range full {
+		f, g := full[i], inc[i]
+		if f.Index != g.Index {
+			t.Fatalf("%s: result %d evaluated config %d full vs %d incremental — the walks diverged",
+				strategy, i, f.Index, g.Index)
+		}
+		if (f.Err == nil) != (g.Err == nil) {
+			t.Fatalf("%s: config %d: err %v vs %v", strategy, f.Index, f.Err, g.Err)
+		}
+		if f.Metrics == nil || g.Metrics == nil {
+			if f.Metrics != g.Metrics {
+				t.Fatalf("%s: config %d: one path missing metrics", strategy, f.Index)
+			}
+			continue
+		}
+		fm, gm := f.Metrics, g.Metrics
+		if math.Float64bits(fm.EnergyNJ) != math.Float64bits(gm.EnergyNJ) {
+			t.Errorf("%s: config %d: energy bits %v vs %v", strategy, f.Index, fm.EnergyNJ, gm.EnergyNJ)
+		}
+		if fm.Accesses != gm.Accesses || fm.FootprintBytes != gm.FootprintBytes ||
+			fm.Cycles != gm.Cycles || fm.Mallocs != gm.Mallocs || fm.Frees != gm.Frees ||
+			fm.Failures != gm.Failures || fm.PeakRequestedBytes != gm.PeakRequestedBytes {
+			t.Errorf("%s: config %d: headline metrics diverge\n  full %+v\n  incr %+v",
+				strategy, f.Index, fm, gm)
+		}
+		if len(fm.PerLayer) != len(gm.PerLayer) {
+			t.Fatalf("%s: config %d: layer count diverges", strategy, f.Index)
+		}
+		for l := range fm.PerLayer {
+			if fm.PerLayer[l] != gm.PerLayer[l] {
+				t.Errorf("%s: config %d layer %s: %+v vs %+v", strategy, f.Index,
+					fm.PerLayer[l].Name, fm.PerLayer[l], gm.PerLayer[l])
+			}
+		}
+	}
+}
+
+// countIncremental returns how many results the partial path served.
+func countIncremental(rs []Result) int {
+	n := 0
+	for _, r := range rs {
+		if r.Incremental {
+			n++
+		}
+	}
+	return n
+}
+
+// TestIncrementalEquivalenceAcrossStrategies runs all four guided
+// strategies with and without incremental re-evaluation and requires the
+// exact same walk and bit-identical metrics — Runner.Incremental must be
+// a pure performance switch.
+func TestIncrementalEquivalenceAcrossStrategies(t *testing.T) {
+	space := EasyportSpace()
+	objectives := []string{"accesses", "footprint"}
+	weights := []Weighted{{Objective: "accesses", Weight: 1}, {Objective: "footprint", Weight: 1}}
+
+	servedPartial := 0
+	for _, seed := range []uint64{1, 7} {
+		run := func(incremental bool, strategy string) []Result {
+			r := easyportRunner(t, incremental)
+			switch strategy {
+			case "hillclimb", "anneal":
+				var (
+					sr  *SearchResult
+					err error
+				)
+				if strategy == "hillclimb" {
+					sr, err = r.HillClimb(space, weights, 60, seed)
+				} else {
+					sr, err = r.Anneal(space, weights, 60, seed)
+				}
+				if err != nil {
+					t.Fatalf("%s seed %d: %v", strategy, seed, err)
+				}
+				return append([]Result{sr.Best}, sr.Evaluated...)
+			case "evolve":
+				rs, err := r.Evolve(space, objectives, EvolveOptions{
+					Population: 8, Budget: 48, Seed: seed,
+				})
+				if err != nil {
+					t.Fatalf("evolve seed %d: %v", seed, err)
+				}
+				return rs
+			case "screen":
+				rs, err := r.ScreenAndRefine(space, objectives, 16, 48, seed)
+				if err != nil {
+					t.Fatalf("screen seed %d: %v", seed, err)
+				}
+				return rs
+			}
+			t.Fatalf("unknown strategy %q", strategy)
+			return nil
+		}
+		for _, strategy := range []string{"hillclimb", "anneal", "evolve", "screen"} {
+			full := run(false, strategy)
+			inc := run(true, strategy)
+			assertResultsIdentical(t, strategy, full, inc)
+			if n := countIncremental(full); n != 0 {
+				t.Errorf("%s seed %d: full run marked %d results incremental", strategy, seed, n)
+			}
+			servedPartial += countIncremental(inc)
+		}
+	}
+	if servedPartial == 0 {
+		t.Fatal("incremental runs never took the partial path")
+	}
+	t.Logf("partial path served %d evaluations across strategies and seeds", servedPartial)
+}
+
+// TestIncrementalDisabledUnderRichOptions: footprint sampling (and any
+// other non-fast-path option) must force full replays — the partial
+// path's synthetic addresses are only valid under the flat cost model.
+func TestIncrementalDisabledUnderRichOptions(t *testing.T) {
+	r := easyportRunner(t, true)
+	r.Options.SampleEvery = 64
+	space := EasyportSpace()
+	rs, err := r.Sample(space, 12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range rs {
+		if res.Incremental {
+			t.Fatalf("config %d took the partial path with SampleEvery set", res.Index)
+		}
+		if res.Err == nil && res.Metrics.Series == nil {
+			t.Fatalf("config %d lost its footprint series", res.Index)
+		}
+	}
+}
+
+// TestIncrementalExploreMatchesFull sweeps a slice of the easyport space
+// exhaustively both ways: identical metrics, and the incremental run must
+// serve a substantial share of configurations from partial replays.
+func TestIncrementalExploreMatchesFull(t *testing.T) {
+	space := EasyportSpace()
+	full, err := easyportRunner(t, false).Sample(space, 64, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := easyportRunner(t, true).Sample(space, 64, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsIdentical(t, "sample", full, inc)
+	n := countIncremental(inc)
+	if n == 0 {
+		t.Fatal("no configuration served incrementally")
+	}
+	skipped := uint64(0)
+	for _, r := range inc {
+		skipped += r.EventsSkipped
+	}
+	if skipped == 0 {
+		t.Fatal("incremental results report zero skipped events")
+	}
+	t.Logf("%d/%d configurations served incrementally, %d events skipped", n, len(inc), skipped)
+}

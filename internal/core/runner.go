@@ -26,6 +26,11 @@ type Result struct {
 	// MemoHit marks a configuration served from the in-run duplicate
 	// memo (axis combinations collapsing to the same canonical config).
 	MemoHit bool
+	// Incremental marks a configuration evaluated by the partial-replay
+	// path (bit-identical to a full replay, see Runner.Incremental);
+	// EventsSkipped is how many trace events that avoided re-simulating.
+	Incremental   bool
+	EventsSkipped uint64
 }
 
 // JournalRecord converts the result to its run-journal form.
@@ -36,6 +41,9 @@ func (r Result) JournalRecord() telemetry.Record {
 		DurationMS: float64(r.Duration.Nanoseconds()) / 1e6,
 		CacheHit:   r.CacheHit,
 		MemoHit:    r.MemoHit,
+
+		Incremental:   r.Incremental,
+		EventsSkipped: r.EventsSkipped,
 	}
 	if r.Err != nil {
 		rec.Error = r.Err.Error()
@@ -91,6 +99,17 @@ type Runner struct {
 	// configuration.
 	Cache *ResultsCache
 
+	// Incremental enables partition-based partial re-evaluation:
+	// configurations sharing a fixed-pool signature (same Fixed pools and
+	// general-pool layer — e.g. Hamming-1 neighbours along any
+	// general-pool axis) replay the full trace once per signature and
+	// re-simulate only the ops that reached the general pool thereafter.
+	// Results are bit-identical to full replays; runs the partial path
+	// cannot reproduce exactly fall back to a full replay automatically.
+	// The flag only takes effect under fast-path profiling (no log
+	// writer, caches, row buffers or footprint sampling).
+	Incremental bool
+
 	// EvalLatency, when positive, adds a sleep after every executed
 	// simulation. The paper's workflow profiles configurations on real
 	// embedded platforms where one evaluation costs seconds to minutes;
@@ -99,7 +118,9 @@ type Runner struct {
 	// evaluation pipeline under backend-bound conditions — where
 	// saturating the worker pool, not raw simulation speed, decides
 	// wall-clock time. Cache and memo hits skip it, exactly as they skip
-	// the backend.
+	// the backend. Incremental partial evaluations charge it pro-rata to
+	// the replayed fraction of the trace: the modelled backend re-runs
+	// only the partition's recorded ops, not the whole trace.
 	EvalLatency time.Duration
 }
 

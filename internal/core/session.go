@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dmexplore/internal/alloc"
 	"dmexplore/internal/profile"
 	"dmexplore/internal/telemetry"
 	"dmexplore/internal/trace"
@@ -42,12 +43,29 @@ type EvalSession struct {
 	memoMu sync.Mutex
 	memo   map[string]*profile.Metrics
 
+	// incremental gates the partial-replay path: Runner.Incremental set
+	// and fast-path profiling options (the partial path's exactness
+	// argument holds only for the flat cost model).
+	incremental bool
+
+	// parts caches the invariant partition per fixed-pool signature; the
+	// entry's once makes concurrent workers build it exactly once.
+	partsMu sync.Mutex
+	parts   map[string]*partitionEntry
+
 	// total/done drive the Progress callback: total grows as batches are
 	// submitted, done as configurations complete.
 	total atomic.Int64
 	done  atomic.Int64
 
 	closed atomic.Bool
+}
+
+// partitionEntry is one signature's cached partition build.
+type partitionEntry struct {
+	once sync.Once
+	part *profile.Partition
+	err  error
 }
 
 // evalJob is one configuration handed to a session worker: where to write
@@ -101,6 +119,12 @@ func (r *Runner) newSession(space *Space, maxWorkers int) (*EvalSession, error) 
 		workers: workers,
 		jobs:    make(chan evalJob, 2*workers),
 		memo:    make(map[string]*profile.Metrics),
+	}
+	opts := r.Options
+	s.incremental = r.Incremental && opts.LogWriter == nil &&
+		opts.SampleEvery == 0 && len(opts.Caches) == 0 && len(opts.RowBuffers) == 0
+	if s.incremental {
+		s.parts = make(map[string]*partitionEntry)
 	}
 	for w := 0; w < workers; w++ {
 		s.wg.Add(1)
@@ -205,6 +229,30 @@ func (s *EvalSession) evalOne(idx int, rep *profile.Replayer, shard *telemetry.S
 				shard.CacheMiss()
 			}
 		}
+		if res.Metrics == nil && s.incremental {
+			// Partial re-evaluation: configurations sharing a fixed-pool
+			// signature reuse one invariant partition and re-simulate only
+			// the ops that reached the general pool. A declined partial
+			// (capacity interaction, pool failure) falls through to the
+			// full replay below.
+			if part := s.partition(cfg, rep); part != nil {
+				if m, ok := rep.RunPartial(s.ct, part, cfg, r.Hierarchy); ok {
+					res.Metrics = m
+					res.Incremental = true
+					res.EventsSkipped = uint64(part.SkippedEvents())
+					if r.EvalLatency > 0 {
+						// The modelled backend replays only the partition's
+						// recorded ops, so it charges latency pro-rata to the
+						// replayed fraction of the trace.
+						time.Sleep(time.Duration(float64(r.EvalLatency) *
+							float64(part.Ops()) / float64(part.Events())))
+					}
+					if r.Cache != nil {
+						r.Cache.Put(key, res.Metrics)
+					}
+				}
+			}
+		}
 		if res.Metrics == nil {
 			res.Metrics, res.Err = rep.Run(s.ct, cfg, r.Hierarchy, r.Options)
 			if res.Err != nil {
@@ -234,4 +282,43 @@ func (s *EvalSession) evalOne(idx int, rep *profile.Replayer, shard *telemetry.S
 	res.Duration = time.Since(start)
 	shard.AddBusy(res.Duration)
 	return res
+}
+
+// partition returns the invariant partition for cfg's fixed-pool
+// signature, building it on first use — one full-trace replay per
+// signature, shared by every worker for the rest of the session. A nil
+// return means the partition could not be built (a fault the full
+// replay path will surface per configuration).
+func (s *EvalSession) partition(cfg alloc.Config, rep *profile.Replayer) *profile.Partition {
+	sig := partitionKey(cfg)
+	s.partsMu.Lock()
+	e := s.parts[sig]
+	if e == nil {
+		e = &partitionEntry{}
+		s.parts[sig] = e
+	}
+	s.partsMu.Unlock()
+	e.once.Do(func() {
+		e.part, e.err = rep.Partition(s.ct, cfg, s.r.Hierarchy)
+	})
+	if e.err != nil {
+		return nil
+	}
+	return e.part
+}
+
+// partitionKey canonicalizes the fixed-pool signature: the fixed pools
+// (which fully determine request routing and the fixed-side simulation)
+// plus the general pool's layer (which determines where fallback ops
+// land). Configurations sharing a key share one Partition.
+func partitionKey(cfg alloc.Config) string {
+	var b strings.Builder
+	for _, f := range cfg.Fixed {
+		fmt.Fprintf(&b, "F%d@%s[%d-%d]%s%s%s×%d/%d;%t|",
+			f.SlotBytes, f.Layer, f.MatchLo, f.MatchHi,
+			f.Order, f.Links, f.Growth, f.ChunkSlots, f.MaxBytes, f.Reclaim)
+	}
+	b.WriteString("G@")
+	b.WriteString(cfg.General.Layer)
+	return b.String()
 }

@@ -1,0 +1,323 @@
+package profile
+
+import (
+	"fmt"
+	"time"
+
+	"dmexplore/internal/alloc"
+	"dmexplore/internal/memhier"
+	"dmexplore/internal/simheap"
+	"dmexplore/internal/trace"
+)
+
+// Incremental re-evaluation: configurations that share their fixed-pool
+// signature (the Fixed slice plus the general pool's layer) differ only
+// in the fallback pool's policy. Request routing in alloc.Composed is a
+// pure function of the fixed pools — a request reaches the general pool
+// iff no fixed pool matches-and-serves it — so the fixed-side simulation
+// (routing cycles, fixed-pool metadata traffic, application accesses,
+// ticks) is invariant across every such configuration.
+//
+// Partition replays the trace once per signature with the real fixed
+// pools composed over an inert recording fallback, capturing (a) the
+// invariant per-layer counters and cycles and (b) the exact sequence of
+// ops that reached the fallback. RunPartial then replays only that op
+// sequence against a candidate's standalone general pool and composes
+// the two runs into bit-identical full-replay metrics.
+//
+// Exactness on the shared layer: fixed pools and the general pool may
+// reserve from the same layer (e.g. both on DRAM). The layer's reserved
+// bytes decompose as F(t)+G(t) with F driven only by fixed-side events
+// and G only by fallback ops. G is monotone non-decreasing — fallback
+// pools never release arenas — and constant between fallback ops, so
+//
+//	peak(F+G) = max over gaps j of (max F within gap j) + (G after op j)
+//
+// where a "gap" is the run of events between consecutive fallback ops.
+// Every candidate value is attained at a real reserve instant and every
+// real reserve instant is dominated by a candidate, so the composed peak
+// is exact. When the shared layer is bounded the composed peak is also
+// how capacity divergence is detected: the real run's first failing
+// reserve would make some candidate exceed the capacity, so RunPartial
+// bails to a full replay whenever the composed peak overflows (and
+// whenever the standalone pool itself errors), leaving the incremental
+// path to serve only runs it reproduces exactly.
+//
+// The partial path requires fast-path profiling (no tracer, caches or
+// row buffers, no footprint series): the recording fallback hands out
+// synthetic addresses, which only the flat address-independent cost
+// model may observe.
+
+// recBase is the synthetic address base the recording fallback hands
+// out. Real reservations are bump-allocated from zero and never approach
+// 2^48 bytes, so synthetic addresses cannot collide with fixed-pool
+// payload addresses in the composed live map.
+const recBase = uint64(1) << 48
+
+// recordingFallback is the inert general pool behind Partition's
+// invariant replay: it satisfies every request without touching the
+// simulation counters, records the op sequence for later standalone
+// replay, and samples the fixed-side reserved bytes on the general
+// layer at each op boundary (closing one "gap").
+type recordingFallback struct {
+	ctx   *simheap.Context
+	layer memhier.LayerID
+
+	// ops is the recorded fallback sequence: v > 0 is an allocation of v
+	// bytes; v < 0 frees the (^v)-th recorded allocation.
+	ops    []int64
+	sizes  []int64 // requested bytes per recorded allocation
+	live   int
+	allocs int
+
+	fMax   []int64 // per closed gap: max fixed-side reserved bytes
+	gapMax int64   // running max within the open gap
+}
+
+// observe folds the current fixed-side reservation level on the general
+// layer into the open gap's maximum. The partition loop calls it after
+// every event; within one event the level moves at most once (one chunk
+// reserve or release), so the post-event sample captures the event's
+// maximum.
+func (p *recordingFallback) observe() {
+	if f := p.ctx.Counters(p.layer).ReservedBytes; f > p.gapMax {
+		p.gapMax = f
+	}
+}
+
+// boundary closes the open gap at a fallback op: the fixed-side level is
+// unchanged since the last observe (fixed pools do not move during a
+// fallback op), so the recorded maximum is final.
+func (p *recordingFallback) boundary() {
+	p.fMax = append(p.fMax, p.gapMax)
+	p.gapMax = p.ctx.Counters(p.layer).ReservedBytes
+}
+
+func (p *recordingFallback) Malloc(size int64) (alloc.Ptr, int64, error) {
+	p.boundary()
+	k := len(p.sizes)
+	p.sizes = append(p.sizes, size)
+	p.ops = append(p.ops, size)
+	p.live++
+	p.allocs++
+	return alloc.Ptr{Layer: p.layer, Addr: recBase + uint64(k)*simheap.WordSize}, size, nil
+}
+
+func (p *recordingFallback) Free(addr uint64) (int64, error) {
+	p.boundary()
+	k := int64((addr - recBase) / simheap.WordSize)
+	if k < 0 || k >= int64(len(p.sizes)) {
+		return 0, fmt.Errorf("profile: recording fallback: free of unknown addr %#x", addr)
+	}
+	p.ops = append(p.ops, ^k)
+	p.live--
+	return p.sizes[k], nil
+}
+
+func (p *recordingFallback) Owns(addr uint64) bool { return addr >= recBase }
+func (p *recordingFallback) LiveBlocks() int       { return p.live }
+func (p *recordingFallback) ArenaBytes() int64     { return 0 }
+
+// Partition is the fixed-side-invariant decomposition of one compiled
+// trace under one fixed-pool signature: everything a partial replay
+// needs except the candidate's general pool. It is immutable once built
+// and shared read-only by all workers evaluating configurations with
+// the same signature.
+type Partition struct {
+	genLayer memhier.LayerID
+	events   int
+
+	counters []simheap.LayerCounters // invariant per-layer counters
+	cycles   uint64
+	mallocs  uint64
+	frees    uint64
+
+	ops    []int64 // recorded fallback ops (see recordingFallback.ops)
+	allocs int
+	fMax   []int64 // len(ops)+1 gap maxima on genLayer
+}
+
+// Ops returns the number of recorded fallback ops a partial replay
+// re-simulates.
+func (p *Partition) Ops() int { return len(p.ops) }
+
+// Events returns the compiled trace's event count the partition covers.
+func (p *Partition) Events() int { return p.events }
+
+// SkippedEvents returns how many trace events a partial replay avoids
+// re-simulating compared to a full replay.
+func (p *Partition) SkippedEvents() int { return p.events - len(p.ops) }
+
+// Partition replays ct once with cfg's fixed pools composed over an
+// inert recording fallback, producing the invariant decomposition shared
+// by every configuration with the same fixed-pool signature. It uses the
+// fast-path cost model only (the equivalent of Run with zero Options).
+func (r *Replayer) Partition(ct *trace.Compiled, cfg alloc.Config, h *memhier.Hierarchy) (*Partition, error) {
+	var start time.Time
+	if r.Shard != nil {
+		start = time.Now()
+	}
+	genLayer, ok := h.ByName(cfg.General.Layer)
+	if !ok {
+		return nil, fmt.Errorf("profile: unknown general layer %q", cfg.General.Layer)
+	}
+	ctx := simheap.NewContext(h)
+	rec := &recordingFallback{ctx: ctx, layer: genLayer}
+	a, err := cfg.BuildWithFallback(ctx, rec)
+	if err != nil {
+		return nil, fmt.Errorf("profile: building fixed side of %s: %w", cfg.ID(), err)
+	}
+	// Gap 0 opens after the fixed pools' construction-time reserves — the
+	// instant the real build would construct the general pool.
+	rec.gapMax = ctx.Counters(genLayer).ReservedBytes
+
+	p := &Partition{genLayer: genLayer, events: ct.Len()}
+	r.reset(ct.NumIDs)
+	kinds, ids, argA, argB := ct.Slabs()
+	for i := range kinds {
+		switch kinds[i] {
+		case trace.KindAlloc:
+			ptr, err := a.Malloc(int64(argA[i]))
+			if err != nil {
+				// The recording fallback cannot fail, so any error is a
+				// fixed-side fault the full replay path must surface.
+				return nil, fmt.Errorf("profile: partition event %d: %w", i, err)
+			}
+			p.mallocs++
+			id := ids[i]
+			r.ptrs[id] = ptr
+			r.live[id] = true
+		case trace.KindFree:
+			id := ids[i]
+			if !r.live[id] {
+				continue
+			}
+			r.live[id] = false
+			if err := a.Free(r.ptrs[id]); err != nil {
+				return nil, fmt.Errorf("profile: partition event %d: %w", i, err)
+			}
+			p.frees++
+		case trace.KindAccess:
+			id := ids[i]
+			if !r.live[id] {
+				continue
+			}
+			ptr := r.ptrs[id]
+			if reads := argA[i]; reads > 0 {
+				ctx.Read(ptr.Layer, ptr.Addr, reads)
+			}
+			if writes := argB[i]; writes > 0 {
+				ctx.Write(ptr.Layer, ptr.Addr, writes)
+			}
+		case trace.KindTick:
+			ctx.Compute(argA[i])
+		default:
+			return nil, fmt.Errorf("profile: partition event %d: unknown kind %d", i, kinds[i])
+		}
+		rec.observe()
+	}
+	rec.boundary() // close the final gap; the trailing level is unused
+
+	p.counters = make([]simheap.LayerCounters, h.NumLayers())
+	for i := range p.counters {
+		p.counters[i] = ctx.Counters(memhier.LayerID(i))
+	}
+	p.cycles = ctx.Cycles()
+	p.ops = rec.ops
+	p.allocs = rec.allocs
+	p.fMax = rec.fMax[:len(rec.ops)+1]
+	if r.Shard != nil {
+		r.Shard.ObservePartitionBuild(time.Since(start), ct.Len())
+	}
+	return p, nil
+}
+
+// RunPartial profiles cfg by replaying only part's recorded fallback ops
+// against a standalone general pool and composing the result with the
+// partition's invariant half. cfg must share part's fixed-pool signature.
+// The returned metrics are bit-identical to a full fast-path Run. ok is
+// false when the partial path cannot reproduce the full replay exactly —
+// the standalone pool errored (the real run would record allocation
+// failures) or the composed peak overflows the general layer's capacity
+// (fixed and general reserves interact) — and the caller must fall back
+// to a full replay.
+func (r *Replayer) RunPartial(ct *trace.Compiled, part *Partition, cfg alloc.Config, h *memhier.Hierarchy) (*Metrics, bool) {
+	var start time.Time
+	if r.Shard != nil {
+		start = time.Now()
+	}
+	ctx := simheap.NewContext(h)
+	pool, err := cfg.BuildGeneral(ctx)
+	if err != nil {
+		return nil, false
+	}
+	genLayer := part.genLayer
+	if cap(r.genAddrs) < part.allocs {
+		r.genAddrs = make([]uint64, 0, part.allocs)
+	}
+	addrs := r.genAddrs[:0]
+	maxSum := part.fMax[0] + ctx.Counters(genLayer).ReservedBytes
+	for j, op := range part.ops {
+		if op > 0 {
+			ptr, _, err := pool.Malloc(op)
+			if err != nil {
+				return nil, false
+			}
+			addrs = append(addrs, ptr.Addr)
+		} else {
+			if _, err := pool.Free(addrs[^op]); err != nil {
+				return nil, false
+			}
+		}
+		if s := part.fMax[j+1] + ctx.Counters(genLayer).ReservedBytes; s > maxSum {
+			maxSum = s
+		}
+	}
+	if layer := h.Layer(genLayer); layer.Bounded() && maxSum > layer.Capacity {
+		return nil, false
+	}
+
+	counters := make([]simheap.LayerCounters, h.NumLayers())
+	for i := range counters {
+		inv := part.counters[i]
+		gen := ctx.Counters(memhier.LayerID(i))
+		counters[i] = simheap.LayerCounters{
+			Reads:     inv.Reads + gen.Reads,
+			Writes:    inv.Writes + gen.Writes,
+			PeakBytes: inv.PeakBytes,
+		}
+		if memhier.LayerID(i) == genLayer {
+			counters[i].PeakBytes = maxSum
+		}
+	}
+	cycles := part.cycles + ctx.Cycles()
+
+	m := &Metrics{
+		ConfigID:    cfg.ID(),
+		ConfigLabel: cfg.Label,
+		Workload:    ct.Name,
+	}
+	var accesses uint64
+	var footprint int64
+	for i := range counters {
+		m.PerLayer = append(m.PerLayer, LayerMetrics{
+			Name:      h.Layer(memhier.LayerID(i)).Name,
+			Reads:     counters[i].Reads,
+			Writes:    counters[i].Writes,
+			PeakBytes: counters[i].PeakBytes,
+		})
+		accesses += counters[i].Accesses()
+		footprint += counters[i].PeakBytes
+	}
+	m.Accesses = accesses
+	m.FootprintBytes = footprint
+	m.EnergyNJ = simheap.EnergyOf(h, counters, cycles, 0)
+	m.Cycles = cycles
+	m.Mallocs = part.mallocs
+	m.Frees = part.frees
+	m.PeakRequestedBytes = ct.PeakRequestedBytes
+	if r.Shard != nil {
+		r.Shard.ObservePartialSim(time.Since(start), len(part.ops), part.SkippedEvents())
+	}
+	return m, true
+}

@@ -1,0 +1,211 @@
+package profile
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"dmexplore/internal/alloc"
+	"dmexplore/internal/memhier"
+	"dmexplore/internal/trace"
+	"dmexplore/internal/workload"
+)
+
+// easyportCompiled builds a scaled-down easyport trace: bursty 74/1500-byte
+// packet traffic with enough churn to exercise fixed pools, fallback ops
+// and coalescing in both the full and partial replay paths.
+func easyportCompiled(t *testing.T, packets int) *trace.Compiled {
+	t.Helper()
+	p := workload.DefaultEasyportParams()
+	p.Packets = packets
+	tr, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := trace.Compile(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ct
+}
+
+// incrementalConfigs enumerates fixed-pool signatures crossed with
+// general-pool policies: no fixed pools, a dedicated pool sharing the
+// general layer (DRAM — the composed-peak case), a scratchpad pool
+// (disjoint layers), and a two-pool mix, each against several general
+// pool shapes including the buddy allocator.
+func incrementalConfigs() []alloc.Config {
+	dram74 := alloc.FixedConfig{
+		SlotBytes: 74, MatchLo: 74, MatchHi: 74, Layer: memhier.LayerDRAM,
+		Order: alloc.LIFO, Links: alloc.SingleLink,
+		Growth: alloc.GrowFixedChunk, ChunkSlots: 512,
+	}
+	sp74 := dram74
+	sp74.Layer = memhier.LayerScratchpad
+	sp74.MaxBytes = 48 * 1024
+	mtu := alloc.FixedConfig{
+		SlotBytes: 1500, MatchLo: 1300, MatchHi: 1500, Layer: memhier.LayerDRAM,
+		Order: alloc.LIFO, Links: alloc.SingleLink,
+		Growth: alloc.GrowFixedChunk, ChunkSlots: 128,
+	}
+	pools := [][]alloc.FixedConfig{
+		nil,
+		{dram74},
+		{sp74},
+		{sp74, mtu},
+	}
+	generals := []alloc.GeneralConfig{
+		{Layer: memhier.LayerDRAM, Classes: "single", Fit: alloc.FirstFit,
+			Order: alloc.LIFO, Links: alloc.SingleLink, Split: alloc.SplitAlways,
+			Coalesce: alloc.CoalesceImmediate, Headers: alloc.HeaderBoundaryTag,
+			Growth: alloc.GrowFixedChunk, ChunkBytes: 8 * 1024},
+		{Layer: memhier.LayerDRAM, Classes: "single", Fit: alloc.BestFit,
+			Order: alloc.AddrOrder, Links: alloc.DoubleLink, Split: alloc.SplitAlways,
+			Coalesce: alloc.CoalesceNever, Headers: alloc.HeaderMinimal,
+			Growth: alloc.GrowDouble, ChunkBytes: 8 * 1024},
+		{Layer: memhier.LayerDRAM, Classes: "pow2:16:65536", RoundToClass: true,
+			Fit: alloc.FirstFit, Order: alloc.LIFO, Links: alloc.SingleLink,
+			Split: alloc.SplitAlways, Coalesce: alloc.CoalesceImmediate,
+			Headers: alloc.HeaderBoundaryTag, Growth: alloc.GrowFixedChunk,
+			ChunkBytes: 64 * 1024},
+		{Layer: memhier.LayerDRAM, Classes: "buddy:64:65536", Fit: alloc.FirstFit,
+			Order: alloc.LIFO, Links: alloc.SingleLink, Split: alloc.SplitAlways,
+			Coalesce: alloc.CoalesceImmediate, Headers: alloc.HeaderBoundaryTag,
+			Growth: alloc.GrowFixedChunk, ChunkBytes: 8 * 1024},
+	}
+	var cfgs []alloc.Config
+	for pi, fixed := range pools {
+		for gi, gen := range generals {
+			cfgs = append(cfgs, alloc.Config{
+				Label:   fmt.Sprintf("pools%d/gen%d", pi, gi),
+				Fixed:   fixed,
+				General: gen,
+			})
+		}
+	}
+	return cfgs
+}
+
+// TestRunPartialMatchesFullReplay is the profile-level exactness check:
+// for every configuration where the partial path accepts the replay, its
+// metrics must be bit-identical to a full fast-path Run — including the
+// float energy total.
+func TestRunPartialMatchesFullReplay(t *testing.T) {
+	ct := easyportCompiled(t, 400)
+	h := memhier.EmbeddedSoC()
+	rep := NewReplayer()
+
+	partials, sharedLayerOK, scratchpadOK := 0, false, false
+	parts := map[string]*Partition{}
+	for _, cfg := range incrementalConfigs() {
+		full, err := rep.Run(ct, cfg, h, Options{})
+		if err != nil {
+			t.Fatalf("%s: full replay: %v", cfg.Label, err)
+		}
+		sig := cfg.ID() // one partition per full config is fine for the test
+		part := parts[sig]
+		if part == nil {
+			part, err = rep.Partition(ct, cfg, h)
+			if err != nil {
+				t.Fatalf("%s: partition: %v", cfg.Label, err)
+			}
+			parts[sig] = part
+			if part.Ops() <= 0 || part.SkippedEvents() <= 0 {
+				t.Fatalf("%s: degenerate partition: %d ops over %d events",
+					cfg.Label, part.Ops(), part.Events())
+			}
+		}
+		pm, ok := rep.RunPartial(ct, part, cfg, h)
+		if !ok {
+			// The partial path may bail (capacity interaction, pool
+			// failures); the full replay must then show why.
+			continue
+		}
+		partials++
+		if len(cfg.Fixed) > 0 && cfg.Fixed[0].Layer == memhier.LayerDRAM {
+			sharedLayerOK = true
+		}
+		for _, f := range cfg.Fixed {
+			if f.Layer == memhier.LayerScratchpad {
+				scratchpadOK = true
+			}
+		}
+		if math.Float64bits(pm.EnergyNJ) != math.Float64bits(full.EnergyNJ) {
+			t.Errorf("%s: energy %v != %v (bit mismatch)", cfg.Label, pm.EnergyNJ, full.EnergyNJ)
+		}
+		if !reflect.DeepEqual(pm, full) {
+			t.Errorf("%s: partial metrics diverge:\n  partial %+v\n  full    %+v", cfg.Label, pm, full)
+		}
+	}
+	if partials == 0 {
+		t.Fatal("no configuration took the partial path")
+	}
+	if !sharedLayerOK {
+		t.Error("no accepted partial replay with a fixed pool sharing the general layer")
+	}
+	if !scratchpadOK {
+		t.Error("no accepted partial replay with a scratchpad fixed pool")
+	}
+	t.Logf("%d partial replays accepted across %d configurations", partials, len(incrementalConfigs()))
+}
+
+// TestPartialSharesPartitionAcrossNeighbours checks the intended usage:
+// one Partition built for a fixed-pool signature serves every general-pool
+// variation (the Hamming-1 neighbours along general axes) exactly.
+func TestPartialSharesPartitionAcrossNeighbours(t *testing.T) {
+	ct := easyportCompiled(t, 300)
+	h := memhier.EmbeddedSoC()
+	rep := NewReplayer()
+
+	cfgs := incrementalConfigs()[4:8] // the dram74 signature, four general pools
+	part, err := rep.Partition(ct, cfgs[0], h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := 0
+	for _, cfg := range cfgs {
+		full, err := rep.Run(ct, cfg, h, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Label, err)
+		}
+		pm, ok := rep.RunPartial(ct, part, cfg, h)
+		if !ok {
+			continue
+		}
+		accepted++
+		if !reflect.DeepEqual(pm, full) {
+			t.Errorf("%s: shared-partition partial diverges from full replay", cfg.Label)
+		}
+	}
+	if accepted == 0 {
+		t.Fatal("shared partition accepted no neighbour")
+	}
+}
+
+// TestReplayerResetReuse exercises the exported Reset path: a warmed
+// Replayer reused across traces of different ID-space sizes must behave
+// like a fresh one.
+func TestReplayerResetReuse(t *testing.T) {
+	big := easyportCompiled(t, 300)
+	small := easyportCompiled(t, 50)
+	cfg := incrementalConfigs()[0]
+	h := memhier.EmbeddedSoC()
+
+	warm := NewReplayer()
+	if _, err := warm.Run(big, cfg, h, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	warm.Reset(small.NumIDs)
+	got, err := warm.Run(small, cfg, h, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := NewReplayer().Run(small, cfg, h, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("reused Replayer diverges:\n  got  %+v\n  want %+v", got, want)
+	}
+}

@@ -26,6 +26,8 @@ type Replayer struct {
 
 	ptrs []alloc.Ptr // dense ID -> payload pointer
 	live []bool      // dense ID -> allocation currently live (not failed)
+
+	genAddrs []uint64 // partial-replay scratch: recorded-alloc payload addrs
 }
 
 // NewReplayer returns a Replayer with empty scratch state. The first Run
@@ -33,6 +35,13 @@ type Replayer struct {
 func NewReplayer() *Replayer {
 	return &Replayer{}
 }
+
+// Reset prepares the scratch tables for a trace with n dense IDs,
+// reusing the packed pointer and live tables when capacity suffices.
+// Run calls it automatically; checkpoint restores and partial replays
+// (see RunPartial) call it directly to reuse a warmed Replayer without
+// reallocating.
+func (r *Replayer) Reset(n int) { r.reset(n) }
 
 // reset prepares the scratch tables for a trace with n dense IDs.
 func (r *Replayer) reset(n int) {
@@ -110,7 +119,7 @@ func (r *Replayer) Run(ct *trace.Compiled, cfg alloc.Config, h *memhier.Hierarch
 		Workload:    ct.Name,
 	}
 	if opts.SampleEvery > 0 {
-		m.Series = make([]FootprintSample, 0, len(ct.Ops)/opts.SampleEvery+2)
+		m.Series = make([]FootprintSample, 0, ct.Len()/opts.SampleEvery+2)
 	}
 	r.reset(ct.NumIDs)
 	if err := r.replay(ct, a, ctx, m, opts.SampleEvery, lw); err != nil {
@@ -137,7 +146,7 @@ func (r *Replayer) Run(ct *trace.Compiled, cfg alloc.Config, h *memhier.Hierarch
 	m.Cycles = ctx.Cycles()
 	m.PeakRequestedBytes = ct.PeakRequestedBytes
 	if r.Shard != nil {
-		r.Shard.ObserveSim(time.Since(start), len(ct.Ops))
+		r.Shard.ObserveSim(time.Since(start), ct.Len())
 	}
 	return m, nil
 }
@@ -150,11 +159,13 @@ const logErrCheckMask = 1<<16 - 1
 
 // replay is the steady-state hot loop: every per-event branch works on
 // flat pre-sized state, and footprint samples read the context's running
-// reserved-bytes total instead of looping over layers.
+// reserved-bytes total instead of looping over layers. The loop streams
+// the compiled trace's columnar slabs — a 1-byte kind column drives the
+// dispatch and each arm loads only the argument words its kind uses.
 func (r *Replayer) replay(ct *trace.Compiled, a alloc.Allocator, ctx *simheap.Context, m *Metrics, sampleEvery int, lw *logWriter) error {
+	kinds, ids, argA, argB := ct.Slabs()
 	var liveRequested int64
-	for i := range ct.Ops {
-		op := &ct.Ops[i]
+	for i := range kinds {
 		if lw != nil && i&logErrCheckMask == logErrCheckMask {
 			if err := lw.Err(); err != nil {
 				return fmt.Errorf("profile: writing log (event %d): %w", i, err)
@@ -167,10 +178,11 @@ func (r *Replayer) replay(ct *trace.Compiled, a alloc.Allocator, ctx *simheap.Co
 				RequestedBytes: liveRequested,
 			})
 		}
-		switch op.Kind {
+		switch kinds[i] {
 		case trace.KindAlloc:
-			liveRequested += op.Size
-			ptr, err := a.Malloc(op.Size)
+			size := int64(argA[i])
+			liveRequested += size
+			ptr, err := a.Malloc(size)
 			if err != nil {
 				if errors.Is(err, alloc.ErrOutOfMemory) {
 					m.Failures++
@@ -179,39 +191,42 @@ func (r *Replayer) replay(ct *trace.Compiled, a alloc.Allocator, ctx *simheap.Co
 				return fmt.Errorf("profile: event %d: %w", i, err)
 			}
 			m.Mallocs++
-			r.ptrs[op.ID] = ptr
-			r.live[op.ID] = true
+			id := ids[i]
+			r.ptrs[id] = ptr
+			r.live[id] = true
 		case trace.KindFree:
-			liveRequested -= op.Size
-			if !r.live[op.ID] {
+			liveRequested -= int64(argA[i])
+			id := ids[i]
+			if !r.live[id] {
 				// The allocation failed; nothing to free.
 				continue
 			}
-			r.live[op.ID] = false
-			if err := a.Free(r.ptrs[op.ID]); err != nil {
+			r.live[id] = false
+			if err := a.Free(r.ptrs[id]); err != nil {
 				return fmt.Errorf("profile: event %d: %w", i, err)
 			}
 			m.Frees++
 		case trace.KindAccess:
-			if !r.live[op.ID] {
+			id := ids[i]
+			if !r.live[id] {
 				continue
 			}
-			ptr := r.ptrs[op.ID]
-			if op.Reads > 0 {
-				ctx.Read(ptr.Layer, ptr.Addr, op.Reads)
+			ptr := r.ptrs[id]
+			if reads := argA[i]; reads > 0 {
+				ctx.Read(ptr.Layer, ptr.Addr, reads)
 			}
-			if op.Writes > 0 {
-				ctx.Write(ptr.Layer, ptr.Addr, op.Writes)
+			if writes := argB[i]; writes > 0 {
+				ctx.Write(ptr.Layer, ptr.Addr, writes)
 			}
 		case trace.KindTick:
-			ctx.Compute(op.Cycles)
+			ctx.Compute(argA[i])
 		default:
-			return fmt.Errorf("profile: event %d: unknown kind %d", i, op.Kind)
+			return fmt.Errorf("profile: event %d: unknown kind %d", i, kinds[i])
 		}
 	}
 	if sampleEvery > 0 {
 		m.Series = append(m.Series, FootprintSample{
-			Event:          len(ct.Ops),
+			Event:          ct.Len(),
 			ReservedBytes:  ctx.TotalReservedBytes(),
 			RequestedBytes: liveRequested,
 		})

@@ -347,7 +347,7 @@ func TestReplayTelemetryZeroAllocs(t *testing.T) {
 			if err := r.replay(ct, a, ctx, &m, 0, nil); err != nil {
 				t.Errorf("%s: replay: %v", cfg.Label, err)
 			}
-			r.Shard.ObserveSim(time.Since(start), len(ct.Ops))
+			r.Shard.ObserveSim(time.Since(start), ct.Len())
 		})
 		if avg != 0 {
 			t.Errorf("%s: instrumented replay allocates %.1f times per run, want 0", cfg.Label, avg)

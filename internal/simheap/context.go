@@ -319,11 +319,21 @@ func (ctx *Context) TotalAccesses() uint64 {
 // hierarchy's cost model: dynamic access energy plus capacity leakage
 // integrated over the run time.
 func (ctx *Context) Energy() float64 {
+	return EnergyOf(ctx.hier, ctx.counters, ctx.cycles, ctx.energyAdj)
+}
+
+// EnergyOf computes the memory energy of a run described by per-layer
+// counters (indexed by LayerID), a cycle count and an access-energy
+// adjustment under h's cost model. It is the pure-function core of
+// Context.Energy; the incremental evaluator calls it with composed
+// counters so a partial replay reproduces the exact float summation
+// order — and therefore the bit-identical result — of a full run.
+func EnergyOf(h *memhier.Hierarchy, counters []LayerCounters, cycles uint64, adj float64) float64 {
 	var e float64
-	kilocycles := float64(ctx.cycles) / 1000
-	for i := range ctx.counters {
-		layer := ctx.hier.Layer(memhier.LayerID(i))
-		c := ctx.counters[i]
+	kilocycles := float64(cycles) / 1000
+	for i := range counters {
+		layer := h.Layer(memhier.LayerID(i))
+		c := counters[i]
 		e += float64(c.Reads) * layer.ReadEnergy
 		e += float64(c.Writes) * layer.WriteEnergy
 		if layer.LeakagePower > 0 {
@@ -331,7 +341,7 @@ func (ctx *Context) Energy() float64 {
 			e += layer.LeakagePower * peakKB * kilocycles
 		}
 	}
-	return e + ctx.energyAdj
+	return e + adj
 }
 
 // CapacityError reports a failed reservation on a bounded layer.

@@ -30,10 +30,17 @@ func Log2Bucket(v int64) int {
 	return b
 }
 
-// Log2BucketLo returns the smallest positive value bucket i covers.
+// Log2BucketLo returns the smallest positive value bucket i covers (the
+// overflow bucket reports its nominal lower bound).
 func Log2BucketLo(i int) int64 {
 	if i <= 0 {
 		return 0
+	}
+	if i >= NumLog2Buckets {
+		// Clamp to the overflow bucket, mirroring Log2BucketHi: beyond-range
+		// indices used to extrapolate (and overflow int64 past i = 63),
+		// yielding bounds past anything the histogram can record.
+		i = NumLog2Buckets - 1
 	}
 	return 1<<uint(i-1) + 1
 }

@@ -43,6 +43,35 @@ func TestLog2BucketBoundsRoundTrip(t *testing.T) {
 	}
 }
 
+// Regression: Log2BucketLo used to extrapolate past the overflow bucket
+// (and overflow int64 past i = 63) instead of clamping like Log2BucketHi,
+// so quantile-style walks over oversized count slices produced bounds
+// beyond anything the histogram can record.
+func TestLog2BucketClampAtTop(t *testing.T) {
+	top := NumLog2Buckets - 1
+	for _, i := range []int{NumLog2Buckets, NumLog2Buckets + 1, 63, 64, 65, 1 << 20} {
+		if got := Log2BucketLo(i); got != Log2BucketLo(top) {
+			t.Errorf("Log2BucketLo(%d) = %d, want clamp to %d", i, got, Log2BucketLo(top))
+		}
+		if got := Log2BucketHi(i); got != Log2BucketHi(top) {
+			t.Errorf("Log2BucketHi(%d) = %d, want clamp to %d", i, got, Log2BucketHi(top))
+		}
+		if lo, hi := Log2BucketLo(i), Log2BucketHi(i); lo <= 0 || lo > hi {
+			t.Errorf("bucket %d: inconsistent bounds lo %d hi %d", i, lo, hi)
+		}
+	}
+	// A counts slice longer than NumLog2Buckets (a forward-compatible
+	// reader merging a wider snapshot) must not push the quantile past the
+	// overflow bucket's bound.
+	long := make([]uint64, NumLog2Buckets+8)
+	long[len(long)-1] = 5
+	for _, p := range []float64{0, 0.5, 1} {
+		if got := Log2Quantile(long, p); got != Log2BucketHi(top) {
+			t.Errorf("oversized counts p%v = %d, want %d", p, got, Log2BucketHi(top))
+		}
+	}
+}
+
 func TestLog2Quantile(t *testing.T) {
 	var counts [NumLog2Buckets]uint64
 	if got := Log2Quantile(counts[:], 0.5); got != 0 {

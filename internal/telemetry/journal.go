@@ -23,6 +23,12 @@ type Record struct {
 	CacheHit   bool    `json:"cache_hit"`
 	MemoHit    bool    `json:"memo_hit,omitempty"`
 
+	// Incremental is set when the configuration was evaluated by the
+	// partial-replay path; EventsSkipped is how many trace events that
+	// avoided re-simulating versus a full replay.
+	Incremental   bool   `json:"incremental,omitempty"`
+	EventsSkipped uint64 `json:"events_skipped,omitempty"`
+
 	// Headline metrics (omitted on error).
 	Accesses       uint64  `json:"accesses,omitempty"`
 	FootprintBytes int64   `json:"footprint_bytes,omitempty"`
@@ -118,14 +124,15 @@ func ReadJournal(r io.Reader) ([]Record, error) {
 
 // JournalDigest aggregates a journal for offline inspection (dmreport).
 type JournalDigest struct {
-	Records    int
-	CacheHits  int
-	MemoHits   int
-	Errors     int
-	Infeasible int     // records with allocation failures
-	TotalSec   float64 // summed per-configuration durations
-	MaxMS      float64 // slowest configuration
-	MaxIndex   int     // its index
+	Records     int
+	CacheHits   int
+	MemoHits    int
+	Incremental int // records served by the partial-replay path
+	Errors      int
+	Infeasible  int     // records with allocation failures
+	TotalSec    float64 // summed per-configuration durations
+	MaxMS       float64 // slowest configuration
+	MaxIndex    int     // its index
 }
 
 // Digest reduces records to their aggregate.
@@ -137,6 +144,9 @@ func Digest(recs []Record) JournalDigest {
 		}
 		if r.MemoHit {
 			d.MemoHits++
+		}
+		if r.Incremental {
+			d.Incremental++
 		}
 		if r.Error != "" {
 			d.Errors++

@@ -65,8 +65,12 @@ func (p *Progress) Update(done, total int) {
 		}
 	}
 	if p.col != nil {
-		if s := p.col.Snapshot(); s.CacheHits+s.CacheMisses > 0 {
+		s := p.col.Snapshot()
+		if s.CacheHits+s.CacheMisses > 0 {
 			line += fmt.Sprintf("  cache %.0f%%", 100*s.CacheHitRate())
+		}
+		if s.PartialSims > 0 {
+			line += fmt.Sprintf("  partial %.0f%%", 100*s.PartialSimRate())
 		}
 	}
 	p.mu.Lock()

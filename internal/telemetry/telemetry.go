@@ -30,6 +30,10 @@ type Shard struct {
 	simNanos atomic.Int64  // total wall time inside those simulations
 	events   atomic.Uint64 // trace events replayed by those simulations
 
+	partialSims     atomic.Uint64 // sims served by the incremental partial path
+	eventsSkipped   atomic.Uint64 // trace events partial sims avoided replaying
+	partitionBuilds atomic.Uint64 // invariant-partition replays (one per signature)
+
 	cacheHits   atomic.Uint64 // configurations served from the results cache
 	cacheMisses atomic.Uint64 // cache consulted, configuration not present
 	memoHits    atomic.Uint64 // served from the in-run duplicate memo
@@ -49,6 +53,33 @@ type Shard struct {
 func (s *Shard) ObserveSim(d time.Duration, events int) {
 	ns := d.Nanoseconds()
 	s.sims.Add(1)
+	s.simNanos.Add(ns)
+	s.events.Add(uint64(events))
+	s.latency[stats.Log2Bucket(ns)].Add(1)
+}
+
+// ObservePartialSim records one simulation served by the incremental
+// partial-replay path: its wall time, the fallback ops it replayed and
+// the trace events it skipped relative to a full replay. Partial sims
+// count toward Sims (they complete a configuration) and are broken out
+// in PartialSims.
+func (s *Shard) ObservePartialSim(d time.Duration, replayed, skipped int) {
+	ns := d.Nanoseconds()
+	s.sims.Add(1)
+	s.partialSims.Add(1)
+	s.simNanos.Add(ns)
+	s.events.Add(uint64(replayed))
+	s.eventsSkipped.Add(uint64(skipped))
+	s.latency[stats.Log2Bucket(ns)].Add(1)
+}
+
+// ObservePartitionBuild records one invariant-partition replay (the
+// once-per-signature full-trace pass the incremental path amortizes).
+// It is not a configuration completion, so it does not count as a sim,
+// but its wall time and events feed the throughput accounting.
+func (s *Shard) ObservePartitionBuild(d time.Duration, events int) {
+	ns := d.Nanoseconds()
+	s.partitionBuilds.Add(1)
 	s.simNanos.Add(ns)
 	s.events.Add(uint64(events))
 	s.latency[stats.Log2Bucket(ns)].Add(1)
@@ -123,6 +154,14 @@ type Snapshot struct {
 	Events       uint64  `json:"events_replayed"`
 	EventsPerSec float64 `json:"events_per_sec"`
 
+	// Incremental-evaluation breakdown: PartialSims of Sims were served
+	// by the partial-replay path, skipping EventsSkipped trace events;
+	// PartitionBuilds is the number of once-per-signature invariant
+	// replays paid to enable them.
+	PartialSims     uint64 `json:"partial_sims,omitempty"`
+	EventsSkipped   uint64 `json:"events_skipped,omitempty"`
+	PartitionBuilds uint64 `json:"partition_builds,omitempty"`
+
 	CacheHits   uint64 `json:"cache_hits"`
 	CacheMisses uint64 `json:"cache_misses"`
 	CacheStale  uint64 `json:"cache_stale"`
@@ -160,6 +199,9 @@ func (c *Collector) Snapshot() Snapshot {
 		s.Sims += sh.sims.Load()
 		simNanos += sh.simNanos.Load()
 		s.Events += sh.events.Load()
+		s.PartialSims += sh.partialSims.Load()
+		s.EventsSkipped += sh.eventsSkipped.Load()
+		s.PartitionBuilds += sh.partitionBuilds.Load()
 		s.CacheHits += sh.cacheHits.Load()
 		s.CacheMisses += sh.cacheMisses.Load()
 		s.MemoHits += sh.memoHits.Load()
@@ -186,6 +228,15 @@ func (c *Collector) Snapshot() Snapshot {
 // simulations plus cache- and memo-served ones.
 func (s Snapshot) Done() uint64 { return s.Sims + s.CacheHits + s.MemoHits }
 
+// PartialSimRate returns the fraction of executed simulations served by
+// the incremental partial-replay path (0 when nothing ran).
+func (s Snapshot) PartialSimRate() float64 {
+	if s.Sims == 0 {
+		return 0
+	}
+	return float64(s.PartialSims) / float64(s.Sims)
+}
+
 // CacheHitRate returns hits / lookups (0 when the cache was never
 // consulted).
 func (s Snapshot) CacheHitRate() float64 {
@@ -208,6 +259,10 @@ func (s Snapshot) String() string {
 	}
 	if s.MemoHits > 0 {
 		fmt.Fprintf(&b, ", %d memo hits", s.MemoHits)
+	}
+	if s.PartialSims > 0 {
+		fmt.Fprintf(&b, ", %.0f%% partial sims (%d partitions, %.3g events skipped)",
+			100*s.PartialSimRate(), s.PartitionBuilds, float64(s.EventsSkipped))
 	}
 	fmt.Fprintf(&b, ", sim p50/p99 %.3g/%.3gms", s.SimP50Ms, s.SimP99Ms)
 	fmt.Fprintf(&b, ", workers %.0f%% busy", 100*s.Utilization)

@@ -6,6 +6,9 @@ import "fmt"
 // are renumbered into the dense [0..NumIDs) range so replay state fits in
 // flat tables instead of maps, and Free carries the size being released
 // (resolved at compile time) so the replayer never tracks request sizes.
+//
+// Op is the row-oriented view over Compiled's columnar slabs, assembled
+// on demand by At; hot loops iterate the slabs directly (Slabs).
 type Op struct {
 	Kind EventKind
 	ID   uint32 // dense allocation index (Alloc/Free/Access)
@@ -20,11 +23,25 @@ type Op struct {
 // renumbered and annotated with the counts a replayer needs to pre-size
 // every buffer. One Compiled trace is built per exploration and shared
 // read-only by all workers.
+//
+// Events are stored structure-of-arrays: one slab per field, so the
+// replay loop streams a 1-byte kind column and touches only the argument
+// words the kind actually uses, instead of striding over 40-byte AoS
+// rows. Block-framed v2 files decode straight into the slabs
+// (CompileBinaryParallel) without materializing an []Event copy.
 type Compiled struct {
 	Name string
-	Ops  []Op
 
-	// NumIDs is the dense allocation-ID space: every Op.ID is < NumIDs.
+	// kinds discriminates each event; ids holds the dense allocation
+	// index (Alloc/Free/Access); argA holds the kind's primary argument
+	// (Alloc/Free: size bytes; Access: word reads; Tick: cycles); argB
+	// holds Access word writes. All four slabs have equal length.
+	kinds []EventKind
+	ids   []uint32
+	argA  []uint64
+	argB  []uint64
+
+	// NumIDs is the dense allocation-ID space: every dense ID is < NumIDs.
 	NumIDs int
 
 	// Per-kind event counts, for buffer pre-sizing.
@@ -43,84 +60,141 @@ type Compiled struct {
 }
 
 // Len returns the number of compiled operations (identical to the source
-// trace's event count; Ops[i] corresponds to Events[i]).
-func (c *Compiled) Len() int { return len(c.Ops) }
+// trace's event count; At(i) corresponds to Events[i]).
+func (c *Compiled) Len() int { return len(c.kinds) }
+
+// Slabs exposes the columnar event slabs for branch-light replay loops.
+// All four slices have length Len() and are shared read-only; callers
+// must not mutate them.
+func (c *Compiled) Slabs() (kinds []EventKind, ids []uint32, argA, argB []uint64) {
+	return c.kinds, c.ids, c.argA, c.argB
+}
+
+// At reconstructs operation i as a row-oriented Op. It is the
+// compatibility view for cold paths and tests; replay loops iterate the
+// slabs from Slabs directly.
+func (c *Compiled) At(i int) Op {
+	op := Op{Kind: c.kinds[i], ID: c.ids[i]}
+	switch op.Kind {
+	case KindAlloc, KindFree:
+		op.Size = int64(c.argA[i])
+	case KindAccess:
+		op.Reads = c.argA[i]
+		op.Writes = c.argB[i]
+	case KindTick:
+		op.Cycles = c.argA[i]
+	}
+	return op
+}
+
+// newCompiled allocates the slabs for n events plus the temporary
+// raw-ID slab finalize consumes.
+func newCompiled(name string, n int) (*Compiled, []uint64) {
+	c := &Compiled{
+		Name:  name,
+		kinds: make([]EventKind, n),
+		ids:   make([]uint32, n),
+		argA:  make([]uint64, n),
+		argB:  make([]uint64, n),
+	}
+	return c, make([]uint64, n)
+}
 
 // Compile validates t and builds its compiled representation. The
 // returned Compiled is immutable and safe for concurrent replay.
 func Compile(t *Trace) (*Compiled, error) {
-	c := &Compiled{
-		Name: t.Name,
-		Ops:  make([]Op, len(t.Events)),
+	c, rawIDs := newCompiled(t.Name, len(t.Events))
+	for i, e := range t.Events {
+		c.kinds[i] = e.Kind
+		rawIDs[i] = e.ID
+		switch e.Kind {
+		case KindAlloc:
+			c.argA[i] = uint64(e.Size)
+		case KindAccess:
+			c.argA[i] = e.Reads
+			c.argB[i] = e.Writes
+		case KindTick:
+			c.argA[i] = e.Cycles
+		}
+		// KindFree carries no payload here (finalize resolves the size);
+		// unknown kinds are rejected by finalize.
 	}
+	if err := c.finalize(rawIDs); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// finalize turns raw slabs (kinds/argA/argB filled, rawIDs holding the
+// original allocation IDs) into the compiled form: it validates the
+// event stream, renumbers IDs densely into c.ids, resolves Free sizes
+// into argA and computes the replay counts. Shared by Compile and the
+// direct block-parallel path so both produce identical results and
+// identical error messages.
+func (c *Compiled) finalize(rawIDs []uint64) error {
 	// dense maps original IDs to dense indices; size holds the requested
 	// bytes of the live allocation so Free ops can carry it.
 	dense := make(map[uint64]uint32, 64)
 	size := make([]int64, 0, 64)
 	live := make([]bool, 0, 64)
 	var liveCount, liveBytes int64
-	for i, e := range t.Events {
-		op := Op{Kind: e.Kind}
-		switch e.Kind {
+	for i, kind := range c.kinds {
+		switch kind {
 		case KindAlloc:
-			if e.Size <= 0 {
-				return nil, fmt.Errorf("trace %s: event %d: alloc %d with size %d", t.Name, i, e.ID, e.Size)
+			sz := int64(c.argA[i])
+			if sz <= 0 {
+				return fmt.Errorf("trace %s: event %d: alloc %d with size %d", c.Name, i, rawIDs[i], sz)
 			}
-			if idx, seen := dense[e.ID]; seen {
+			if idx, seen := dense[rawIDs[i]]; seen {
 				if live[idx] {
-					return nil, fmt.Errorf("trace %s: event %d: id %d allocated twice", t.Name, i, e.ID)
+					return fmt.Errorf("trace %s: event %d: id %d allocated twice", c.Name, i, rawIDs[i])
 				}
-				return nil, fmt.Errorf("trace %s: event %d: id %d reused after free", t.Name, i, e.ID)
+				return fmt.Errorf("trace %s: event %d: id %d reused after free", c.Name, i, rawIDs[i])
 			}
 			idx := uint32(len(size))
-			dense[e.ID] = idx
-			size = append(size, e.Size)
+			dense[rawIDs[i]] = idx
+			size = append(size, sz)
 			live = append(live, true)
-			op.ID = idx
-			op.Size = e.Size
+			c.ids[i] = idx
 			c.Allocs++
 			liveCount++
 			if int(liveCount) > c.PeakLive {
 				c.PeakLive = int(liveCount)
 			}
-			liveBytes += e.Size
+			liveBytes += sz
 			if liveBytes > c.PeakRequestedBytes {
 				c.PeakRequestedBytes = liveBytes
 			}
 		case KindFree:
-			idx, seen := dense[e.ID]
+			idx, seen := dense[rawIDs[i]]
 			if !seen || !live[idx] {
-				return nil, fmt.Errorf("trace %s: event %d: free of dead id %d", t.Name, i, e.ID)
+				return fmt.Errorf("trace %s: event %d: free of dead id %d", c.Name, i, rawIDs[i])
 			}
 			live[idx] = false
-			op.ID = idx
-			op.Size = size[idx]
+			c.ids[i] = idx
+			c.argA[i] = uint64(size[idx])
 			c.Frees++
 			liveCount--
 			liveBytes -= size[idx]
 		case KindAccess:
-			idx, seen := dense[e.ID]
+			idx, seen := dense[rawIDs[i]]
 			if !seen || !live[idx] {
-				return nil, fmt.Errorf("trace %s: event %d: access to dead id %d", t.Name, i, e.ID)
+				return fmt.Errorf("trace %s: event %d: access to dead id %d", c.Name, i, rawIDs[i])
 			}
-			if e.Reads == 0 && e.Writes == 0 {
-				return nil, fmt.Errorf("trace %s: event %d: empty access", t.Name, i)
+			if c.argA[i] == 0 && c.argB[i] == 0 {
+				return fmt.Errorf("trace %s: event %d: empty access", c.Name, i)
 			}
-			op.ID = idx
-			op.Reads = e.Reads
-			op.Writes = e.Writes
+			c.ids[i] = idx
 			c.Accesses++
 		case KindTick:
-			if e.Cycles == 0 {
-				return nil, fmt.Errorf("trace %s: event %d: zero tick", t.Name, i)
+			if c.argA[i] == 0 {
+				return fmt.Errorf("trace %s: event %d: zero tick", c.Name, i)
 			}
-			op.Cycles = e.Cycles
 			c.Ticks++
 		default:
-			return nil, fmt.Errorf("trace %s: event %d: unknown kind %d", t.Name, i, e.Kind)
+			return fmt.Errorf("trace %s: event %d: unknown kind %d", c.Name, i, kind)
 		}
-		c.Ops[i] = op
 	}
 	c.NumIDs = len(size)
-	return c, nil
+	return nil
 }

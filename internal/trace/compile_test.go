@@ -32,7 +32,8 @@ func TestCompileRenumbersDense(t *testing.T) {
 	if c.Len() != 9 {
 		t.Fatalf("Len = %d, want 9", c.Len())
 	}
-	for i, op := range c.Ops {
+	for i := 0; i < c.Len(); i++ {
+		op := c.At(i)
 		if op.Kind == KindTick {
 			continue
 		}
@@ -41,11 +42,11 @@ func TestCompileRenumbersDense(t *testing.T) {
 		}
 	}
 	// IDs are assigned in first-alloc order: 100 -> 0, 7 -> 1, 900 -> 2.
-	if c.Ops[0].ID != 0 || c.Ops[1].ID != 1 || c.Ops[5].ID != 2 {
-		t.Fatalf("dense assignment: %d %d %d", c.Ops[0].ID, c.Ops[1].ID, c.Ops[5].ID)
+	if c.At(0).ID != 0 || c.At(1).ID != 1 || c.At(5).ID != 2 {
+		t.Fatalf("dense assignment: %d %d %d", c.At(0).ID, c.At(1).ID, c.At(5).ID)
 	}
-	if c.Ops[2].ID != 0 || c.Ops[6].ID != 1 {
-		t.Fatalf("access renumbering: %d %d", c.Ops[2].ID, c.Ops[6].ID)
+	if c.At(2).ID != 0 || c.At(6).ID != 1 {
+		t.Fatalf("access renumbering: %d %d", c.At(2).ID, c.At(6).ID)
 	}
 }
 
@@ -55,7 +56,8 @@ func TestCompileResolvesFreeSizes(t *testing.T) {
 		t.Fatal(err)
 	}
 	frees := map[uint32]int64{}
-	for _, op := range c.Ops {
+	for i := 0; i < c.Len(); i++ {
+		op := c.At(i)
 		if op.Kind == KindFree {
 			frees[op.ID] = op.Size
 		}

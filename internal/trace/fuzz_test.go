@@ -62,6 +62,26 @@ func FuzzReadBinary(f *testing.F) {
 	}
 	f.Add([]byte("DMTR\x01\x00\x00"))
 	f.Add([]byte("DMTR\x02\x00\x00"))
+	// Columnar seed: every event kind interleaved with live/dead ID churn,
+	// so the slab decode loop's four arms and the finalize validation all
+	// run from the corpus itself.
+	colSeed := &trace.Trace{Name: "columnar-seed"}
+	for i := uint64(1); i <= 32; i++ {
+		colSeed.Events = append(colSeed.Events,
+			trace.Event{Kind: trace.KindAlloc, ID: i, Size: int64(8 * i)},
+			trace.Event{Kind: trace.KindAccess, ID: i, Reads: i, Writes: i % 3},
+			trace.Event{Kind: trace.KindTick, Cycles: 100},
+		)
+		if i%2 == 0 {
+			colSeed.Events = append(colSeed.Events,
+				trace.Event{Kind: trace.KindFree, ID: i - 1})
+		}
+	}
+	var colBuf bytes.Buffer
+	if err := trace.WriteBinaryV2(&colBuf, colSeed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(colBuf.Bytes())
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tr, err := trace.ReadBinary(bytes.NewReader(data))
 		if err != nil {
@@ -86,6 +106,27 @@ func FuzzReadBinary(f *testing.F) {
 		}
 		if !sameEvents(par.Events, tr.Events) {
 			t.Fatal("parallel read diverged")
+		}
+		// The direct-to-slab compiler must agree with compile-after-read:
+		// same accept/reject verdict, and identical columns when accepted.
+		ref, refErr := trace.Compile(tr)
+		slab, slabErr := trace.CompileBinaryParallel(bytes.NewReader(out.Bytes()), int64(out.Len()), 3, nil)
+		if (refErr == nil) != (slabErr == nil) {
+			t.Fatalf("compile verdicts diverge: ref %v, slab %v", refErr, slabErr)
+		}
+		if refErr != nil {
+			return
+		}
+		if slab.Len() != ref.Len() || slab.NumIDs != ref.NumIDs ||
+			slab.Allocs != ref.Allocs || slab.Frees != ref.Frees ||
+			slab.Accesses != ref.Accesses || slab.Ticks != ref.Ticks ||
+			slab.PeakLive != ref.PeakLive || slab.PeakRequestedBytes != ref.PeakRequestedBytes {
+			t.Fatal("columnar compile counts diverge")
+		}
+		for i := 0; i < ref.Len(); i++ {
+			if slab.At(i) != ref.At(i) {
+				t.Fatalf("columnar compile row %d: %+v != %+v", i, slab.At(i), ref.At(i))
+			}
 		}
 	})
 }

@@ -193,10 +193,196 @@ func ReadFile(path string, workers int, stats blockio.Stats) (*Trace, error) {
 	return ReadText(f)
 }
 
-// ReadCompiledFile reads a trace file (block-parallel where the format
-// allows, see ReadFile) and compiles it for replay in one step.
+// decodeEventSlab decodes one binary record from the front of buf
+// straight into the compiled slabs at index i: the columnar twin of
+// decodeEvent, writing kind/raw-ID/arguments without materializing an
+// Event.
+func decodeEventSlab(buf []byte, kinds []EventKind, rawIDs, argA, argB []uint64, i int64) (int, error) {
+	if len(buf) == 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	kind := EventKind(buf[0])
+	kinds[i] = kind
+	n := 1
+	bad := false
+	get := func() uint64 {
+		v, k := binary.Uvarint(buf[n:])
+		if k <= 0 {
+			bad = true
+			return 0
+		}
+		n += k
+		return v
+	}
+	switch kind {
+	case KindAlloc:
+		rawIDs[i] = get()
+		argA[i] = get()
+	case KindFree:
+		rawIDs[i] = get()
+	case KindAccess:
+		rawIDs[i] = get()
+		argA[i] = get()
+		argB[i] = get()
+	case KindTick:
+		argA[i] = get()
+	default:
+		return 0, fmt.Errorf("unknown kind %d", kind)
+	}
+	if bad {
+		return 0, io.ErrUnexpectedEOF
+	}
+	return n, nil
+}
+
+// CompileBinaryParallel parses a binary trace and compiles it for replay
+// in one step. V2 block-framed files are decoded straight into the
+// compiled trace's columnar slabs along the footer's block index — up to
+// workers goroutines, no intermediate []Event copy — then finalized
+// (validation, dense renumbering) in one sequential pass, so the result
+// is bit-identical to ReadBinary + Compile. V1 files fall back to the
+// sequential reader. stats may be nil.
+func CompileBinaryParallel(ra io.ReaderAt, size int64, workers int, stats blockio.Stats) (*Compiled, error) {
+	header := make([]byte, len(binaryMagic)+1+binary.MaxVarintLen64)
+	if int64(len(header)) > size {
+		header = header[:size]
+	}
+	if _, err := ra.ReadAt(header, 0); err != nil && err != io.EOF {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if len(header) < len(binaryMagic)+1 || string(header[:len(binaryMagic)]) != binaryMagic {
+		return nil, fmt.Errorf("trace: bad magic")
+	}
+	if version := header[len(binaryMagic)]; version != binaryVersionV2 {
+		// V1 has no block structure to split on or decode in place.
+		t, err := readBinary(io.NewSectionReader(ra, 0, size), stats)
+		if err != nil {
+			return nil, err
+		}
+		return Compile(t)
+	}
+	nameLen, n := binary.Uvarint(header[len(binaryMagic)+1:])
+	if n <= 0 {
+		return nil, fmt.Errorf("trace: truncated name length")
+	}
+	if nameLen > maxNameLen {
+		return nil, fmt.Errorf("trace: implausible name length %d", nameLen)
+	}
+	nameOff := int64(len(binaryMagic) + 1 + n)
+	name := make([]byte, nameLen)
+	if _, err := ra.ReadAt(name, nameOff); err != nil {
+		return nil, fmt.Errorf("trace: reading name: %w", err)
+	}
+
+	blocks, err := blockio.ReadIndex(ra, size)
+	if err != nil {
+		return nil, err
+	}
+	groups, total, err := groupBlocks(blocks)
+	if err != nil {
+		return nil, err
+	}
+	c, rawIDs := newCompiled(string(name), int(total))
+	if len(groups) == 0 {
+		return c, nil
+	}
+	if len(blocks) > 0 && blocks[0].Offset != nameOff+int64(nameLen) {
+		return nil, fmt.Errorf("trace: first block at offset %d, header ends at %d", blocks[0].Offset, nameOff+int64(nameLen))
+	}
+
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	jobs := make(chan int)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var buf []byte
+			for gi := range jobs {
+				if err := decodeGroupSlab(ra, blocks, groups[gi], c, rawIDs, &buf, stats); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	for gi := range groups {
+		jobs <- gi
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := c.finalize(rawIDs); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// decodeGroupSlab fetches one window and decodes its blocks straight
+// into the compiled slabs. buf is per-worker scratch, grown as needed
+// and reused.
+func decodeGroupSlab(ra io.ReaderAt, blocks []blockio.Block, g fetchGroup, c *Compiled, rawIDs []uint64, buf *[]byte, stats blockio.Stats) error {
+	if int64(cap(*buf)) < g.length {
+		*buf = make([]byte, g.length)
+	}
+	window := (*buf)[:g.length]
+	if _, err := ra.ReadAt(window, g.off); err != nil {
+		return fmt.Errorf("trace: reading blocks %d-%d (offset %d): %w", g.first, g.last, g.off, unexpectedEOF(err))
+	}
+	next := g.eventStart
+	for b := g.first; b <= g.last; b++ {
+		records, payload, rest, err := blockio.ParseBlock(window, stats)
+		if err != nil {
+			return fmt.Errorf("trace: block %d (offset %d): %w", b, blocks[b].Offset, err)
+		}
+		if records != blocks[b].Records {
+			return fmt.Errorf("trace: block %d: header says %d records, footer says %d", b, records, blocks[b].Records)
+		}
+		window = rest
+		for k := int64(0); k < records; k++ {
+			n, err := decodeEventSlab(payload, c.kinds, rawIDs, c.argA, c.argB, next)
+			if err != nil {
+				return fmt.Errorf("trace: block %d, record %d (event %d): %w", b, k, next, err)
+			}
+			payload = payload[n:]
+			next++
+		}
+		if len(payload) != 0 {
+			return fmt.Errorf("trace: block %d: %d payload bytes beyond its %d records", b, len(payload), records)
+		}
+	}
+	return nil
+}
+
+// ReadCompiledFile reads a trace file and compiles it for replay in one
+// step. Binary files go through CompileBinaryParallel, so v2 block-framed
+// traces land directly in the columnar slabs without an intermediate
+// []Event copy; text files are parsed then compiled.
 func ReadCompiledFile(path string, workers int, stats blockio.Stats) (*Compiled, error) {
-	t, err := ReadFile(path, workers, stats)
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	var magic [len(binaryMagic)]byte
+	if n, _ := f.ReadAt(magic[:], 0); n == len(magic) && string(magic[:]) == binaryMagic {
+		return CompileBinaryParallel(f, fi.Size(), workers, stats)
+	}
+	t, err := ReadText(f)
 	if err != nil {
 		return nil, err
 	}
