@@ -53,12 +53,23 @@ bench-incremental:
 bench-parse:
 	$(GO) run scripts/benchparse.go
 
+# bench-surrogate refreshes BENCH_surrogate.json: the exact 512-simulation
+# screen-and-refine of the full Easyport space against the surrogate-
+# assisted run at a fifth of the budget, compared by 2-D hypervolume
+# against a shared reference point. Fails if the simulation reduction
+# drops below 3x, the surrogate hypervolume falls more than 5% short of
+# the exact run, or any worker count diverges from the serial run.
+.PHONY: bench-surrogate
+bench-surrogate:
+	$(GO) run scripts/benchsurrogate.go
+
 # fuzz-smoke runs each native fuzz target for a few seconds — enough to
 # execute the seed corpus plus a short mutation run on every decoder.
 .PHONY: fuzz-smoke
 fuzz-smoke:
 	$(GO) test ./internal/trace/ -run '^$$' -fuzz '^FuzzReadBinary$$' -fuzztime 5s
 	$(GO) test ./internal/trace/ -run '^$$' -fuzz '^FuzzReadText$$' -fuzztime 5s
+	$(GO) test ./internal/trace/ -run '^$$' -fuzz '^FuzzTraceFeatures$$' -fuzztime 5s
 	$(GO) test ./internal/profile/ -run '^$$' -fuzz '^FuzzParseLog$$' -fuzztime 5s
 
 # bench-telemetry compares the instrumented steady-state replay loop

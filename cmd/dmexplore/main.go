@@ -40,24 +40,26 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("dmexplore", flag.ContinueOnError)
 	var (
-		workloadName = fs.String("workload", "easyport", "workload: "+strings.Join(workload.Names(), "|"))
-		scale        = fs.Int("scale", 100, "workload scale in percent of the default trace length")
-		seed         = fs.Uint64("seed", 1, "workload RNG seed")
-		spaceKind    = fs.String("space", "narrow", "configuration space: narrow|full|auto (auto derives pools from the workload's profile)")
-		spaceFile    = fs.String("spacefile", "", "JSON space specification file (overrides -space)")
-		sample       = fs.Int("sample", 0, "profile only N sampled configurations (0 = exhaustive)")
-		sampleSeed   = fs.Uint64("sample-seed", 1, "sampling RNG seed")
-		strategy     = fs.String("strategy", "exhaustive", "search strategy: exhaustive|screen|evolve|hillclimb|anneal (-sample = screening size / population, -budget = total simulations)")
-		budget       = fs.Int("budget", 0, "screen strategy: total simulation budget")
-		objectives   = fs.String("objectives", "accesses,footprint", "comma-separated minimization objectives")
-		hierName     = fs.String("hierarchy", "soc", "memory hierarchy: soc|soc3|flat")
-		workers      = fs.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
-		outDir       = fs.String("out", "", "directory for CSV/Gnuplot reports (none when empty)")
-		cachePath    = fs.String("cache", "", "results cache file: resume interrupted sweeps, skip repeated configurations")
-		tracePath    = fs.String("trace", "", "replay a trace file instead of generating the workload")
-		incremental  = fs.Bool("incremental", false, "partial re-evaluation: configurations sharing a fixed-pool signature replay only the ops that reach the general pool (bit-identical results)")
-		quiet        = fs.Bool("quiet", false, "suppress progress output")
-		metricsAddr  = fs.String("metrics-addr", "", "serve live telemetry (expvar) and pprof at this address, e.g. localhost:6060")
+		workloadName  = fs.String("workload", "easyport", "workload: "+strings.Join(workload.Names(), "|"))
+		scale         = fs.Int("scale", 100, "workload scale in percent of the default trace length")
+		seed          = fs.Uint64("seed", 1, "workload RNG seed")
+		spaceKind     = fs.String("space", "narrow", "configuration space: narrow|full|auto (auto derives pools from the workload's profile)")
+		spaceFile     = fs.String("spacefile", "", "JSON space specification file (overrides -space)")
+		sample        = fs.Int("sample", 0, "profile only N sampled configurations (0 = exhaustive)")
+		sampleSeed    = fs.Uint64("sample-seed", 1, "sampling RNG seed")
+		strategy      = fs.String("strategy", "exhaustive", "search strategy: exhaustive|screen|evolve|hillclimb|anneal (-sample = screening size / population, -budget = total simulations)")
+		budget        = fs.Int("budget", 0, "screen strategy: total simulation budget")
+		objectives    = fs.String("objectives", "accesses,footprint", "comma-separated minimization objectives")
+		hierName      = fs.String("hierarchy", "soc", "memory hierarchy: soc|soc3|flat")
+		workers       = fs.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+		outDir        = fs.String("out", "", "directory for CSV/Gnuplot reports (none when empty)")
+		cachePath     = fs.String("cache", "", "results cache file: resume interrupted sweeps, skip repeated configurations")
+		tracePath     = fs.String("trace", "", "replay a trace file instead of generating the workload")
+		incremental   = fs.Bool("incremental", false, "partial re-evaluation: configurations sharing a fixed-pool signature replay only the ops that reach the general pool (bit-identical results)")
+		surrogate     = fs.Bool("surrogate", false, "surrogate-assisted screening: rank candidates with online per-objective models so guided strategies spend the budget on the most promising simulations")
+		surrogateWarm = fs.String("surrogate-warm", "", "warm-start the surrogate from a prior journal.jsonl (same space and workload)")
+		quiet         = fs.Bool("quiet", false, "suppress progress output")
+		metricsAddr   = fs.String("metrics-addr", "", "serve live telemetry (expvar) and pprof at this address, e.g. localhost:6060")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -142,6 +144,26 @@ func run(args []string, out io.Writer) error {
 	}
 	col := telemetry.NewCollector(workerN)
 	runner := &core.Runner{Hierarchy: hier, Trace: tr, Compiled: ct, Workers: *workers, Telemetry: col, Incremental: *incremental}
+	var surReport *core.SurrogateReport
+	if *surrogate {
+		surReport = &core.SurrogateReport{}
+		runner.Surrogate = &core.SurrogateOptions{Report: surReport}
+		if *surrogateWarm != "" {
+			wf, err := os.Open(*surrogateWarm)
+			if err != nil {
+				return err
+			}
+			warm, err := telemetry.ReadJournal(wf)
+			wf.Close()
+			if err != nil {
+				return err
+			}
+			runner.Surrogate.WarmStart = warm
+			fmt.Fprintf(out, "surrogate  warm start from %s (%d records)\n", *surrogateWarm, len(warm))
+		}
+	} else if *surrogateWarm != "" {
+		return fmt.Errorf("-surrogate-warm requires -surrogate")
+	}
 	if *metricsAddr != "" {
 		srv, err := telemetry.Serve(*metricsAddr, col)
 		if err != nil {
@@ -257,6 +279,20 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "\nexplored %d configurations in %v (%d feasible)\n",
 		len(results), elapsed.Round(time.Millisecond), len(feasible))
 	fmt.Fprintf(out, "telemetry  %s\n", snap)
+	if surReport != nil {
+		if surReport.Trained == 0 {
+			fmt.Fprintf(out, "surrogate  unused (only the guided strategies screen: screen|evolve|hillclimb|anneal)\n")
+		} else {
+			fmt.Fprintf(out, "surrogate  trained on %d results, scored %d candidates, screened out %d\n",
+				surReport.Trained, surReport.Predictions, surReport.ScreenedOut)
+			for _, obj := range objs {
+				if mae, ok := surReport.MAE[obj]; ok {
+					fmt.Fprintf(out, "  %-10s Spearman %.3f, MAE %.4g (%d prediction/exact pairs)\n",
+						obj, surReport.Spearman[obj], mae, surReport.Pairs)
+				}
+			}
+		}
+	}
 	for _, obj := range objs {
 		r, err := core.Range(feasible, obj)
 		if err != nil {

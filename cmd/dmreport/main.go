@@ -17,10 +17,13 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"dmexplore/internal/core"
+	"dmexplore/internal/profile"
 	"dmexplore/internal/report"
+	"dmexplore/internal/stats"
 	"dmexplore/internal/telemetry"
 )
 
@@ -167,10 +170,62 @@ func summarizeJournal(out io.Writer, path string) error {
 	fmt.Fprintf(out, "  time     %.2fs total worker time, slowest #%d at %.2fms\n",
 		d.TotalSec, d.MaxIndex, d.MaxMS)
 	fmt.Fprintf(out, "  outcome  %d errors, %d infeasible\n", d.Errors, d.Infeasible)
+	surrogateAccuracy(out, recs, d)
 	for _, r := range recs {
 		if r.Error != "" {
 			fmt.Fprintf(out, "    #%-6d %s\n", r.Index, r.Error)
 		}
 	}
 	return nil
+}
+
+// surrogateAccuracy prints the surrogate-accuracy section of the journal
+// summary: rank correlation and mean absolute error of the predictions
+// journaled at submission time against the exact results measured on the
+// same records. Nothing is printed for journals without predictions.
+func surrogateAccuracy(out io.Writer, recs []telemetry.Record, d telemetry.JournalDigest) {
+	preds := make(map[string][]float64)
+	actuals := make(map[string][]float64)
+	for _, r := range recs {
+		if r.Error != "" || r.Failures > 0 || len(r.Predicted) == 0 {
+			continue
+		}
+		for obj, p := range r.Predicted {
+			a, ok := recordObjective(r, obj)
+			if !ok {
+				continue
+			}
+			preds[obj] = append(preds[obj], p)
+			actuals[obj] = append(actuals[obj], a)
+		}
+	}
+	if d.Predicted == 0 || len(preds) == 0 {
+		return
+	}
+	objs := make([]string, 0, len(preds))
+	for obj := range preds {
+		objs = append(objs, obj)
+	}
+	sort.Strings(objs)
+	fmt.Fprintf(out, "  surrogate %d of %d records carry predictions\n", d.Predicted, d.Records)
+	for _, obj := range objs {
+		fmt.Fprintf(out, "    %-10s Spearman %.3f, MAE %.4g over %d pairs\n",
+			obj, stats.Spearman(preds[obj], actuals[obj]),
+			stats.MeanAbsError(preds[obj], actuals[obj]), len(preds[obj]))
+	}
+}
+
+// recordObjective reads the named objective off a journal record.
+func recordObjective(r telemetry.Record, obj string) (float64, bool) {
+	switch obj {
+	case profile.ObjAccesses:
+		return float64(r.Accesses), true
+	case profile.ObjFootprint:
+		return float64(r.FootprintBytes), true
+	case profile.ObjEnergy:
+		return r.EnergyNJ, true
+	case profile.ObjCycles:
+		return float64(r.Cycles), true
+	}
+	return 0, false
 }

@@ -116,6 +116,47 @@ func TestJournalSummary(t *testing.T) {
 	}
 }
 
+// TestJournalSurrogateGolden pins the full -journal output for a journal
+// carrying surrogate predictions against a golden file: the accuracy
+// section (Spearman rank correlation and MAE per objective, computed
+// over records that have both a prediction and an exact feasible result)
+// must render exactly as recorded.
+func TestJournalSurrogateGolden(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-journal", filepath.Join("testdata", "surrogate-journal.jsonl")}, &out); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "surrogate-journal.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != string(want) {
+		t.Fatalf("journal summary diverged from golden file:\n--- got ---\n%s--- want ---\n%s", out.String(), want)
+	}
+}
+
+// TestJournalSummaryNoPredictions guards the inverse: a journal without
+// predictions must not grow a surrogate section.
+func TestJournalSummaryNoPredictions(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := telemetry.NewJournal(f)
+	j.Record(telemetry.Record{Index: 0, DurationMS: 1, Accesses: 10})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-journal", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "surrogate") {
+		t.Fatalf("surrogate section on a prediction-free journal:\n%s", out.String())
+	}
+}
+
 func TestJournalSummaryMissingFile(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-journal", "/nonexistent/journal.jsonl"}, &out); err == nil {

@@ -18,6 +18,16 @@ import (
 type evalBatcher struct {
 	sess *EvalSession
 
+	// predict and onResult, when set, wire a surrogate into the batcher:
+	// predict supplies the per-objective forecast journaled with every
+	// fresh evaluation, onResult receives every fresh successful result
+	// in request order (the surrogate's online-training hook). Both run
+	// on the getBatch caller's goroutine with no lock held, so a batcher
+	// carrying them must be driven from a single coordinating goroutine
+	// — which is how every guided strategy drives it.
+	predict  func(idx int) map[string]float64
+	onResult func(Result)
+
 	mu       sync.Mutex
 	results  map[int]Result
 	inflight map[int]chan struct{} // closed when the owning batch lands
@@ -66,7 +76,14 @@ func (b *evalBatcher) getBatch(indices []int) ([]Result, error) {
 	b.mu.Unlock()
 
 	if len(todo) > 0 {
-		res, err := b.sess.Eval(todo)
+		var preds []map[string]float64
+		if b.predict != nil {
+			preds = make([]map[string]float64, len(todo))
+			for i, idx := range todo {
+				preds[i] = b.predict(idx)
+			}
+		}
+		res, err := b.sess.EvalPredicted(todo, preds)
 		b.mu.Lock()
 		for i, idx := range todo {
 			if res != nil {
@@ -83,6 +100,13 @@ func (b *evalBatcher) getBatch(indices []int) ([]Result, error) {
 		}
 		b.mu.Unlock()
 		close(mine)
+		if b.onResult != nil && res != nil {
+			for _, r := range res {
+				if r.Err == nil {
+					b.onResult(r)
+				}
+			}
+		}
 	}
 	for _, ch := range waits {
 		<-ch

@@ -153,6 +153,114 @@ func TestBatcherLimit(t *testing.T) {
 	}
 }
 
+// TestBatcherLimitPreRanked pins limit's budget-prefix semantics for the
+// inputs the surrogate produces: slices ordered by predicted score (or
+// any other deterministic, non-shuffled order), possibly interleaving
+// cached and unseen indices. The prefix rule and the new-index dedup must
+// not depend on the input having been shuffled.
+func TestBatcherLimitPreRanked(t *testing.T) {
+	r, mu, counts := countingRunner(t, 2)
+	space := EasyportSpace()
+	sess, err := r.NewSession(space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	b := newEvalBatcher(sess)
+	if _, err := b.getBatch([]int{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		in     []int
+		maxNew int
+		want   []int
+	}{
+		{"ascending ranked", []int{1, 2, 3, 4, 5, 6}, 2, []int{1, 2, 3, 4, 5}},
+		{"descending ranked", []int{6, 5, 4, 3, 2, 1}, 2, []int{6, 5}},
+		{"cached interleaved", []int{2, 7, 3, 7, 1, 8, 9}, 2, []int{2, 7, 3, 7, 1, 8}},
+		{"all cached ranked", []int{3, 2, 1}, 0, []int{3, 2, 1}},
+	}
+	for _, c := range cases {
+		got := b.limit(c.in, c.maxNew)
+		if len(got) != len(c.want) {
+			t.Fatalf("%s: limit(%v, %d) = %v, want %v", c.name, c.in, c.maxNew, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("%s: limit(%v, %d) = %v, want %v", c.name, c.in, c.maxNew, got, c.want)
+			}
+		}
+	}
+	// Evaluating a limited pre-ranked batch must still dedup: the cached
+	// members cost nothing, each new member exactly one simulation.
+	if _, err := b.getBatch(b.limit([]int{2, 7, 3, 7, 1, 8, 9}, 2)); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, idx := range []int{1, 2, 3, 7, 8} {
+		if counts[idx] != 1 {
+			t.Fatalf("index %d evaluated %d times", idx, counts[idx])
+		}
+	}
+	if counts[9] != 0 {
+		t.Fatalf("index 9 beyond the budget prefix was evaluated %d times", counts[9])
+	}
+}
+
+// TestBatcherConcurrentPreRankedOverlap is the in-flight partitioning
+// contract under non-shuffled input: goroutines submitting identically
+// ordered (pre-ranked) overlapping slices — the worst case for claim
+// contention, since every goroutine walks the same order — must still
+// evaluate each index exactly once.
+func TestBatcherConcurrentPreRankedOverlap(t *testing.T) {
+	r, mu, counts := countingRunner(t, 4)
+	space := EasyportSpace()
+	sess, err := r.NewSession(space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	b := newEvalBatcher(sess)
+	ranked := make([]int, 24)
+	for i := range ranked {
+		ranked[i] = i
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Each goroutine takes an overlapping window of the shared
+			// ranking, in ranked (ascending) order.
+			batch := ranked[g : g+16]
+			res, err := b.getBatch(batch)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i, idx := range batch {
+				if res[i].Index != idx || res[i].Metrics == nil {
+					t.Errorf("goroutine %d slot %d: bad result %+v", g, i, res[i])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	for idx, n := range counts {
+		if n != 1 {
+			t.Fatalf("index %d evaluated %d times under pre-ranked overlap", idx, n)
+		}
+	}
+	if len(counts) != 23 {
+		t.Fatalf("evaluated %d distinct indices, want 23", len(counts))
+	}
+}
+
 func TestSessionEvalAfterClose(t *testing.T) {
 	r := searchRunner(t)
 	sess, err := r.NewSession(tinySpace())
@@ -281,8 +389,11 @@ func TestSearchDeterministicAcrossWorkers(t *testing.T) {
 		return o
 	}
 
-	runAll := func(workers int) []outcome {
+	runAll := func(workers int, surrogate bool) []outcome {
 		r := &Runner{Hierarchy: memhier.EmbeddedSoC(), Trace: tr, Workers: workers}
+		if surrogate {
+			r.Surrogate = &SurrogateOptions{}
+		}
 		var out []outcome
 		sr, err := r.HillClimb(space, weights, budget, seed)
 		if err != nil {
@@ -323,27 +434,33 @@ func TestSearchDeterministicAcrossWorkers(t *testing.T) {
 		return out
 	}
 
-	ref := runAll(1)
-	for _, workers := range []int{4, runtime.GOMAXPROCS(0)} {
-		got := runAll(workers)
-		for i, o := range got {
-			want := ref[i]
-			if o.bestIndex != want.bestIndex || o.bestScore != want.bestScore {
-				t.Fatalf("%s: best %d/%v with %d workers, %d/%v with 1",
-					o.name, o.bestIndex, o.bestScore, workers, want.bestIndex, want.bestScore)
-			}
-			if len(o.indices) != len(want.indices) {
-				t.Fatalf("%s: %d evaluations with %d workers, %d with 1",
-					o.name, len(o.indices), workers, len(want.indices))
-			}
-			for j := range o.indices {
-				if o.indices[j] != want.indices[j] {
-					t.Fatalf("%s: evaluation order diverges at %d with %d workers",
-						o.name, j, workers)
+	// Exact strategies and their surrogate-screened variants must both be
+	// bit-deterministic: the surrogate's training and predictions happen
+	// on the coordinating goroutine in batcher request order, so worker
+	// count cannot leak into them either.
+	for _, surrogate := range []bool{false, true} {
+		ref := runAll(1, surrogate)
+		for _, workers := range []int{2, 4, 8, runtime.GOMAXPROCS(0)} {
+			got := runAll(workers, surrogate)
+			for i, o := range got {
+				want := ref[i]
+				if o.bestIndex != want.bestIndex || o.bestScore != want.bestScore {
+					t.Fatalf("%s (surrogate=%t): best %d/%v with %d workers, %d/%v with 1",
+						o.name, surrogate, o.bestIndex, o.bestScore, workers, want.bestIndex, want.bestScore)
 				}
-				if o.accesses[j] != want.accesses[j] || o.footprint[j] != want.footprint[j] {
-					t.Fatalf("%s: metrics diverge at %d with %d workers",
-						o.name, j, workers)
+				if len(o.indices) != len(want.indices) {
+					t.Fatalf("%s (surrogate=%t): %d evaluations with %d workers, %d with 1",
+						o.name, surrogate, len(o.indices), workers, len(want.indices))
+				}
+				for j := range o.indices {
+					if o.indices[j] != want.indices[j] {
+						t.Fatalf("%s (surrogate=%t): evaluation order diverges at %d with %d workers",
+							o.name, surrogate, j, workers)
+					}
+					if o.accesses[j] != want.accesses[j] || o.footprint[j] != want.footprint[j] {
+						t.Fatalf("%s (surrogate=%t): metrics diverge at %d with %d workers",
+							o.name, surrogate, j, workers)
+					}
 				}
 			}
 		}

@@ -46,6 +46,10 @@ func (r *Runner) Evolve(space *Space, objectives []string, opts EvolveOptions) (
 	defer sess.Close()
 	batcher := newEvalBatcher(sess)
 	rng := stats.NewRNG(opts.Seed)
+	sur := r.newSurrogate(sess, equalWeights(objectives))
+	sur.paretoRank()
+	sur.attach(batcher)
+	defer sur.finish()
 
 	// Initial population: uniform random genomes, one evaluation wave.
 	pop := make([]int, 0, opts.Population)
@@ -70,18 +74,48 @@ func (r *Runner) Evolve(space *Space, objectives []string, opts EvolveOptions) (
 		if err != nil {
 			return nil, err
 		}
-		offspring := make([]int, 0, opts.Population)
-		newEvals := 0
+		var offspring []int
 		remaining := opts.Budget - batcher.len()
-		for len(offspring) < opts.Population && newEvals < remaining {
-			a := tournament(rng, pop, ranks, crowd)
-			b := tournament(rng, pop, ranks, crowd)
-			child := crossover(rng, space, a, b)
-			child = mutate(rng, space, child, opts.MutationRate)
-			if !batcher.has(child) {
-				newEvals++
+		if sur != nil {
+			// Surrogate path: breed an oversampled candidate wave, let the
+			// already-profiled genomes through for free, and screen the
+			// unseen ones down to at most one generation of real
+			// simulations — the models pre-filter the offspring before the
+			// batcher ever sees them.
+			cands := make([]int, 0, surrogateOversample*opts.Population)
+			for len(cands) < surrogateOversample*opts.Population {
+				a := tournament(rng, pop, ranks, crowd)
+				b := tournament(rng, pop, ranks, crowd)
+				child := crossover(rng, space, a, b)
+				cands = append(cands, mutate(rng, space, child, opts.MutationRate))
 			}
-			offspring = append(offspring, child)
+			cands = dedupInts(cands)
+			var unseen []int
+			for _, c := range cands {
+				if batcher.has(c) {
+					offspring = append(offspring, c)
+				} else {
+					unseen = append(unseen, c)
+				}
+			}
+			k := opts.Population
+			if k > remaining {
+				k = remaining
+			}
+			offspring = append(offspring, sur.screen(unseen, k)...)
+		} else {
+			offspring = make([]int, 0, opts.Population)
+			newEvals := 0
+			for len(offspring) < opts.Population && newEvals < remaining {
+				a := tournament(rng, pop, ranks, crowd)
+				b := tournament(rng, pop, ranks, crowd)
+				child := crossover(rng, space, a, b)
+				child = mutate(rng, space, child, opts.MutationRate)
+				if !batcher.has(child) {
+					newEvals++
+				}
+				offspring = append(offspring, child)
+			}
 		}
 		// One wave for the whole generation — including offspring that
 		// environmental selection will discard; they still join the

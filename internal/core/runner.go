@@ -31,6 +31,12 @@ type Result struct {
 	// EventsSkipped is how many trace events that avoided re-simulating.
 	Incremental   bool
 	EventsSkipped uint64
+	// Predicted carries the surrogate's per-objective predictions made
+	// when this configuration was submitted for exact evaluation (nil
+	// outside surrogate-assisted searches). The journal preserves it, so
+	// prediction accuracy can be audited offline against the exact
+	// metrics on the same record.
+	Predicted map[string]float64
 }
 
 // JournalRecord converts the result to its run-journal form.
@@ -49,6 +55,7 @@ func (r Result) JournalRecord() telemetry.Record {
 		rec.Error = r.Err.Error()
 		return rec
 	}
+	rec.Predicted = r.Predicted
 	if m := r.Metrics; m != nil {
 		rec.Accesses = m.Accesses
 		rec.FootprintBytes = m.FootprintBytes
@@ -109,6 +116,14 @@ type Runner struct {
 	// The flag only takes effect under fast-path profiling (no log
 	// writer, caches, row buffers or footprint sampling).
 	Incremental bool
+
+	// Surrogate, when non-nil, enables surrogate-assisted candidate
+	// screening in the guided search strategies (HillClimb, Anneal,
+	// ScreenAndRefine, Evolve): online per-objective models trained from
+	// every exact result rank candidates so the simulation budget is
+	// spent on the most promising ones. See SurrogateOptions. When nil,
+	// the strategies take their original exact-only code paths.
+	Surrogate *SurrogateOptions
 
 	// EvalLatency, when positive, adds a sleep after every executed
 	// simulation. The paper's workflow profiles configurations on real

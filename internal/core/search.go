@@ -170,9 +170,20 @@ func (r *Runner) HillClimb(space *Space, weights []Weighted, budget int, seed ui
 	defer sess.Close()
 	b := newEvalBatcher(sess)
 	rng := stats.NewRNG(seed)
+	sur := r.newSurrogate(sess, weights)
+	sur.attach(b)
+	defer sur.finish()
 	ref, err := referenceScales(space, b, weights, rng)
 	if err != nil {
 		return nil, err
+	}
+	if sur != nil && !sur.ready() {
+		// Bootstrap the models past their warm-up threshold with one
+		// uniform probe wave (shared with the scales sampler), so the
+		// very first neighbourhood is already ranked.
+		if _, err := probeSample(space, b, rng, surrogateBootstrapProbes); err != nil {
+			return nil, err
+		}
 	}
 	scratch := newNeighborScratch(space)
 
@@ -188,22 +199,51 @@ func (r *Runner) HillClimb(space *Space, weights []Weighted, budget int, seed ui
 			return nil, err
 		}
 		for b.len() < budget {
-			ns := shuffled(rng, scratch.neighbors(space, cur.Index))
-			ns = b.limit(ns, budget-b.len())
-			cands, err := b.getBatch(ns)
-			if err != nil {
-				return nil, err
-			}
 			improved := false
-			for _, cand := range cands {
-				score, err := scalarize(cand.Metrics, weights, ref)
+			if sur != nil {
+				// Surrogate path: evaluate the neighbourhood best-predicted
+				// first, a chunk at a time, so an accepted move costs a few
+				// simulations instead of the whole Hamming-1 ring.
+				ranked := sur.rank(scratch.neighbors(space, cur.Index))
+				for off := 0; off < len(ranked) && b.len() < budget && !improved; off += surrogateClimbChunk {
+					end := off + surrogateClimbChunk
+					if end > len(ranked) {
+						end = len(ranked)
+					}
+					wave := b.limit(ranked[off:end], budget-b.len())
+					cands, err := b.getBatch(wave)
+					if err != nil {
+						return nil, err
+					}
+					for _, cand := range cands {
+						score, err := scalarize(cand.Metrics, weights, ref)
+						if err != nil {
+							return nil, err
+						}
+						if score < curScore {
+							cur, curScore = cand, score
+							improved = true
+							break // first improvement in predicted-best order
+						}
+					}
+				}
+			} else {
+				ns := shuffled(rng, scratch.neighbors(space, cur.Index))
+				ns = b.limit(ns, budget-b.len())
+				cands, err := b.getBatch(ns)
 				if err != nil {
 					return nil, err
 				}
-				if score < curScore {
-					cur, curScore = cand, score
-					improved = true
-					break // first improvement in shuffled order
+				for _, cand := range cands {
+					score, err := scalarize(cand.Metrics, weights, ref)
+					if err != nil {
+						return nil, err
+					}
+					if score < curScore {
+						cur, curScore = cand, score
+						improved = true
+						break // first improvement in shuffled order
+					}
 				}
 			}
 			if !improved {
@@ -245,9 +285,17 @@ func (r *Runner) Anneal(space *Space, weights []Weighted, budget int, seed uint6
 	defer sess.Close()
 	b := newEvalBatcher(sess)
 	rng := stats.NewRNG(seed)
+	sur := r.newSurrogate(sess, weights)
+	sur.attach(b)
+	defer sur.finish()
 	ref, err := referenceScales(space, b, weights, rng)
 	if err != nil {
 		return nil, err
+	}
+	if sur != nil && !sur.ready() {
+		if _, err := probeSample(space, b, rng, surrogateBootstrapProbes); err != nil {
+			return nil, err
+		}
 	}
 	// The proposal stream is split off the main RNG: accept/reject draws
 	// stay on rng, neighbour picks on propRNG, so speculation depth never
@@ -274,7 +322,14 @@ func (r *Runner) Anneal(space *Space, weights []Weighted, budget int, seed uint6
 		for len(proposals) < annealSpeculation {
 			proposals = append(proposals, ns[propRNG.Intn(len(ns))])
 		}
-		wave := b.limit(proposals, budget-b.len())
+		wave := proposals
+		if sur != nil {
+			// Predicted-best first: the acceptance scan meets the most
+			// promising proposal earliest, so an accepted move abandons
+			// (and never pays for) fewer speculative simulations.
+			wave = sur.rank(proposals)
+		}
+		wave = b.limit(wave, budget-b.len())
 		cands, err := b.getBatch(wave)
 		if err != nil {
 			return nil, err
@@ -323,15 +378,43 @@ func (r *Runner) ScreenAndRefine(space *Space, objectives []string, screen, budg
 	defer sess.Close()
 	b := newEvalBatcher(sess)
 	rng := stats.NewRNG(seed)
+	sur := r.newSurrogate(sess, equalWeights(objectives))
+	sur.paretoRank()
+	sur.attach(b)
+	defer sur.finish()
 	scratch := newNeighborScratch(space)
 
-	// Screening sample: one wave.
+	// Screening sample: one wave. With a surrogate, a quarter of the wave
+	// evaluates exactly as the training bootstrap; the remaining slots are
+	// surrogate-picked from a pool far larger than the wave — the same
+	// number of simulations covers the best of PoolCap candidates instead
+	// of a blind uniform sample.
 	perm := rng.Perm(space.Size())
 	if screen > len(perm) {
 		screen = len(perm)
 	}
-	if _, err := b.getBatch(perm[:screen]); err != nil {
-		return nil, err
+	if sur != nil {
+		nBoot := screen / 4
+		if nBoot < surrogateMinTrain {
+			nBoot = surrogateMinTrain
+		}
+		if nBoot > screen {
+			nBoot = screen
+		}
+		if _, err := b.getBatch(perm[:nBoot]); err != nil {
+			return nil, err
+		}
+		pool := perm[nBoot:]
+		if len(pool) > sur.opts.PoolCap {
+			pool = pool[:sur.opts.PoolCap]
+		}
+		if _, err := b.getBatch(sur.screen(pool, screen-nBoot)); err != nil {
+			return nil, err
+		}
+	} else {
+		if _, err := b.getBatch(perm[:screen]); err != nil {
+			return nil, err
+		}
 	}
 
 	for b.len() < budget {
@@ -340,13 +423,21 @@ func (r *Runner) ScreenAndRefine(space *Space, objectives []string, screen, budg
 			return nil, err
 		}
 		// Refinement ring: every unseen neighbour of every front member,
-		// deduplicated, capped at the remaining budget.
+		// deduplicated, capped at the remaining budget. The surrogate
+		// gathers a larger ring (up to PoolCap) and ranks it, so the
+		// budget-capped prefix lands on the predicted-best neighbours
+		// instead of whichever front members were enumerated first.
 		var ring []int
 		inRing := make(map[int]bool)
 		remaining := budget - b.len()
+		ringCap := remaining
+		if sur != nil && ringCap < sur.opts.PoolCap {
+			ringCap = sur.opts.PoolCap
+			front = dedupFrontMetrics(front)
+		}
 		for _, f := range front {
 			for _, n := range scratch.neighbors(space, f.Index) {
-				if len(ring) >= remaining {
+				if len(ring) >= ringCap {
 					break
 				}
 				if inRing[n] || b.has(n) {
@@ -359,6 +450,12 @@ func (r *Runner) ScreenAndRefine(space *Space, objectives []string, screen, budg
 		if len(ring) == 0 {
 			break
 		}
+		if sur != nil {
+			ring = sur.rank(ring)
+			if len(ring) > remaining {
+				ring = ring[:remaining]
+			}
+		}
 		if _, err := b.getBatch(ring); err != nil {
 			return nil, err
 		}
@@ -366,33 +463,71 @@ func (r *Runner) ScreenAndRefine(space *Space, objectives []string, screen, budg
 	return b.all(), nil
 }
 
-// referenceScales profiles a few random configurations (one wave) to
-// establish the normalization scale per objective for scalarized search.
-func referenceScales(space *Space, b *evalBatcher, weights []Weighted, rng *stats.RNG) (map[string]float64, error) {
-	probes := make([]int, 3)
+// referenceProbes is how many random configurations referenceScales
+// profiles to establish the scalarization scales.
+const referenceProbes = 3
+
+// probeSample profiles n uniformly random configurations as one wave and
+// returns their results. It draws exactly one rng.Intn(Size) per probe —
+// callers relying on reproducible RNG streams (every scalarized search)
+// get the same draws for the same n.
+func probeSample(space *Space, b *evalBatcher, rng *stats.RNG, n int) ([]Result, error) {
+	probes := make([]int, n)
 	for i := range probes {
 		probes[i] = rng.Intn(space.Size())
 	}
-	results, err := b.getBatch(probes)
-	if err != nil {
-		return nil, err
+	return b.getBatch(probes)
+}
+
+// objectiveScales reduces profiled results to one normalization scale
+// per objective: the largest feasible value observed. An objective with
+// no positive feasible value — every probe infeasible, or a metric that
+// is identically zero across the sample — gets scale 1, so downstream
+// divisions are always well-defined.
+func objectiveScales(results []Result, objectives []string) (map[string]float64, error) {
+	ref := make(map[string]float64, len(objectives))
+	for _, obj := range objectives {
+		ref[obj] = 0
 	}
-	ref := make(map[string]float64)
 	for _, res := range results {
-		if !res.Metrics.Feasible() {
+		if res.Metrics == nil || !res.Metrics.Feasible() {
 			continue
 		}
-		for _, w := range weights {
-			v, err := res.Metrics.Objective(w.Objective)
+		for _, obj := range objectives {
+			v, err := res.Metrics.Objective(obj)
 			if err != nil {
 				return nil, err
 			}
-			if v > ref[w.Objective] {
-				ref[w.Objective] = v
+			if v > ref[obj] {
+				ref[obj] = v
 			}
 		}
 	}
+	for obj, v := range ref {
+		if v <= 0 {
+			ref[obj] = 1
+		}
+	}
 	return ref, nil
+}
+
+// objectiveNames extracts the objective list from scalarization weights.
+func objectiveNames(weights []Weighted) []string {
+	names := make([]string, len(weights))
+	for i, w := range weights {
+		names[i] = w.Objective
+	}
+	return names
+}
+
+// referenceScales profiles a few random configurations (one wave) to
+// establish the normalization scale per objective for scalarized search.
+func referenceScales(space *Space, b *evalBatcher, weights []Weighted, rng *stats.RNG) (map[string]float64, error) {
+	results, err := probeSample(space, b, rng, referenceProbes)
+	if err != nil {
+		return nil, err
+	}
+	return objectiveScales(results, objectiveNames(weights))
 }
 
 func shuffled(rng *stats.RNG, xs []int) []int {

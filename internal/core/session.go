@@ -69,11 +69,14 @@ type partitionEntry struct {
 }
 
 // evalJob is one configuration handed to a session worker: where to write
-// the result and which batch to signal when done.
+// the result and which batch to signal when done. predicted, when
+// non-nil, is the surrogate's forecast for this configuration, stamped
+// onto the result so the journal pairs it with the exact metrics.
 type evalJob struct {
-	idx int
-	out *Result
-	wg  *sync.WaitGroup
+	idx       int
+	out       *Result
+	wg        *sync.WaitGroup
+	predicted map[string]float64
 }
 
 // NewSession opens a persistent evaluation session for the space. Callers
@@ -145,18 +148,34 @@ func (s *EvalSession) Workers() int { return s.workers }
 // On failure every slot is still populated (per-result Err) and the
 // returned error wraps the first failure in request order.
 func (s *EvalSession) Eval(indices []int) ([]Result, error) {
+	return s.EvalPredicted(indices, nil)
+}
+
+// EvalPredicted is Eval with per-index surrogate predictions attached:
+// preds, when non-nil, must have one entry per index (entries may be
+// nil); each is stamped onto the corresponding Result before the
+// Observer sees it, so journals record what the surrogate forecast
+// alongside what the simulation measured.
+func (s *EvalSession) EvalPredicted(indices []int, preds []map[string]float64) ([]Result, error) {
 	if s.closed.Load() {
 		return nil, fmt.Errorf("core: eval on closed session")
 	}
 	if len(indices) == 0 {
 		return nil, nil
 	}
+	if preds != nil && len(preds) != len(indices) {
+		return nil, fmt.Errorf("core: %d predictions for %d indices", len(preds), len(indices))
+	}
 	results := make([]Result, len(indices))
 	s.total.Add(int64(len(indices)))
 	var batch sync.WaitGroup
 	batch.Add(len(indices))
 	for i, idx := range indices {
-		s.jobs <- evalJob{idx: idx, out: &results[i], wg: &batch}
+		job := evalJob{idx: idx, out: &results[i], wg: &batch}
+		if preds != nil {
+			job.predicted = preds[i]
+		}
+		s.jobs <- job
 	}
 	batch.Wait()
 	for _, res := range results {
@@ -186,6 +205,7 @@ func (s *EvalSession) worker(w int) {
 	rep.Shard = shard
 	for job := range s.jobs {
 		res := s.evalOne(job.idx, rep, shard)
+		res.Predicted = job.predicted
 		*job.out = res
 		if s.r.Observer != nil {
 			s.r.Observer(res)

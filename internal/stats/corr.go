@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Spearman returns the Spearman rank correlation coefficient between the
+// paired samples xs and ys: the Pearson correlation of their ranks, with
+// ties assigned average (fractional) ranks. It is the surrogate-accuracy
+// metric the journal digest reports — a screening model earns its keep by
+// ranking candidates correctly, not by predicting absolute values.
+//
+// Returns NaN when the slices differ in length, hold fewer than two
+// pairs, or either side is constant (rank variance zero).
+func Spearman(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN()
+	}
+	rx := ranks(xs)
+	ry := ranks(ys)
+	n := float64(len(xs))
+	var mx, my float64
+	for i := range rx {
+		mx += rx[i]
+		my += ry[i]
+	}
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for i := range rx {
+		dx, dy := rx[i]-mx, ry[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// ranks assigns 1-based average ranks to xs (ties share the mean of the
+// rank positions they occupy).
+func ranks(xs []float64) []float64 {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	out := make([]float64, len(xs))
+	for i := 0; i < len(idx); {
+		j := i + 1
+		for j < len(idx) && xs[idx[j]] == xs[idx[i]] {
+			j++
+		}
+		// Positions i..j-1 hold the same value: average of ranks i+1..j.
+		avg := float64(i+1+j) / 2
+		for k := i; k < j; k++ {
+			out[idx[k]] = avg
+		}
+		i = j
+	}
+	return out
+}
+
+// MeanAbsError returns the mean absolute error between the paired samples
+// (NaN when lengths differ or the slices are empty).
+func MeanAbsError(pred, actual []float64) float64 {
+	if len(pred) != len(actual) || len(pred) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for i := range pred {
+		sum += math.Abs(pred[i] - actual[i])
+	}
+	return sum / float64(len(pred))
+}

@@ -1,0 +1,145 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRidgeRecoversLinearMap(t *testing.T) {
+	// y = 3 + 2·x1 − 5·x2, trained on deterministic pseudo-random inputs:
+	// the model must recover the map to high accuracy.
+	rng := NewRNG(99)
+	r := NewRidge(3, 1e-6)
+	f := func(x1, x2 float64) float64 { return 3 + 2*x1 - 5*x2 }
+	for i := 0; i < 200; i++ {
+		x1, x2 := rng.Float64(), rng.Float64()
+		r.Observe([]float64{1, x1, x2}, f(x1, x2))
+	}
+	for _, c := range [][2]float64{{0, 0}, {1, 1}, {0.25, 0.75}} {
+		got, _ := r.Predict([]float64{1, c[0], c[1]})
+		want := f(c[0], c[1])
+		if math.Abs(got-want) > 1e-6 {
+			t.Fatalf("predict(%v) = %v, want %v", c, got, want)
+		}
+	}
+	if r.N() != 200 {
+		t.Fatalf("N = %d", r.N())
+	}
+}
+
+func TestRidgeLeverageShrinksWithData(t *testing.T) {
+	r := NewRidge(2, 1e-3)
+	x := []float64{1, 0.5}
+	_, before := r.Predict(x)
+	for i := 0; i < 10; i++ {
+		r.Observe(x, 1)
+	}
+	_, after := r.Predict(x)
+	if !(after < before) || after < 0 {
+		t.Fatalf("leverage %v -> %v, want positive shrink", before, after)
+	}
+	// An orthogonal direction stays unexplored: leverage stays high.
+	_, ortho := r.Predict([]float64{0.5, -1})
+	if ortho <= after {
+		t.Fatalf("unseen direction leverage %v <= seen %v", ortho, after)
+	}
+}
+
+func TestRidgeConstantColumnsStayStable(t *testing.T) {
+	// Constant (collinear with bias) columns — the trace-feature part of
+	// the surrogate encoding — must not destabilize the update.
+	r := NewRidge(4, 1e-3)
+	rng := NewRNG(7)
+	for i := 0; i < 100; i++ {
+		x := []float64{1, 0.7, 0.7, rng.Float64()}
+		r.Observe(x, 2*x[3]+1)
+	}
+	got, lev := r.Predict([]float64{1, 0.7, 0.7, 0.5})
+	if math.IsNaN(got) || math.IsInf(got, 0) || math.IsNaN(lev) {
+		t.Fatalf("unstable prediction %v (leverage %v)", got, lev)
+	}
+	if math.Abs(got-2) > 0.05 {
+		t.Fatalf("prediction %v, want ~2", got)
+	}
+}
+
+func TestRidgeDeterministic(t *testing.T) {
+	build := func() *Ridge {
+		r := NewRidge(3, 1e-2)
+		rng := NewRNG(5)
+		for i := 0; i < 50; i++ {
+			r.Observe([]float64{1, rng.Float64(), rng.Float64()}, rng.Float64()*100)
+		}
+		return r
+	}
+	a, b := build(), build()
+	for i := 0; i < 10; i++ {
+		x := []float64{1, float64(i) / 10, float64(10-i) / 10}
+		pa, la := a.Predict(x)
+		pb, lb := b.Predict(x)
+		if pa != pb || la != lb {
+			t.Fatalf("prediction diverged: %v/%v vs %v/%v", pa, la, pb, lb)
+		}
+	}
+}
+
+func TestRidgePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero dim":    func() { NewRidge(0, 1) },
+		"zero lambda": func() { NewRidge(2, 0) },
+		"bad observe": func() { NewRidge(2, 1).Observe([]float64{1}, 0) },
+		"bad predict": func() { NewRidge(2, 1).Predict([]float64{1, 2, 3}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSpearman(t *testing.T) {
+	cases := []struct {
+		name   string
+		xs, ys []float64
+		want   float64
+	}{
+		{"perfect", []float64{1, 2, 3, 4}, []float64{10, 20, 30, 40}, 1},
+		{"perfect nonlinear", []float64{1, 2, 3, 4}, []float64{1, 8, 27, 64}, 1},
+		{"reversed", []float64{1, 2, 3}, []float64{9, 5, 1}, -1},
+	}
+	for _, c := range cases {
+		if got := Spearman(c.xs, c.ys); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: %v, want %v", c.name, got, c.want)
+		}
+	}
+	// Ties get average ranks: correlation stays defined and in [-1, 1].
+	got := Spearman([]float64{1, 1, 2, 3}, []float64{5, 6, 7, 8})
+	if math.IsNaN(got) || got < 0.9 {
+		t.Errorf("tied ranks: %v", got)
+	}
+	for name, v := range map[string]float64{
+		"short":    Spearman([]float64{1}, []float64{1}),
+		"mismatch": Spearman([]float64{1, 2}, []float64{1}),
+		"constant": Spearman([]float64{2, 2, 2}, []float64{1, 2, 3}),
+	} {
+		if !math.IsNaN(v) {
+			t.Errorf("%s: %v, want NaN", name, v)
+		}
+	}
+}
+
+func TestMeanAbsError(t *testing.T) {
+	if got := MeanAbsError([]float64{1, 2, 3}, []float64{2, 2, 5}); got != 1 {
+		t.Fatalf("MAE %v, want 1", got)
+	}
+	if !math.IsNaN(MeanAbsError(nil, nil)) {
+		t.Fatal("empty MAE not NaN")
+	}
+	if !math.IsNaN(MeanAbsError([]float64{1}, []float64{1, 2})) {
+		t.Fatal("mismatched MAE not NaN")
+	}
+}

@@ -29,6 +29,12 @@ type Record struct {
 	Incremental   bool   `json:"incremental,omitempty"`
 	EventsSkipped uint64 `json:"events_skipped,omitempty"`
 
+	// Predicted holds the surrogate's per-objective predictions made when
+	// this configuration was submitted for exact evaluation — the pairs
+	// the accuracy digest (Spearman rank correlation, MAE) is computed
+	// over. Only surrogate-assisted runs populate it.
+	Predicted map[string]float64 `json:"predicted,omitempty"`
+
 	// Headline metrics (omitted on error).
 	Accesses       uint64  `json:"accesses,omitempty"`
 	FootprintBytes int64   `json:"footprint_bytes,omitempty"`
@@ -128,6 +134,7 @@ type JournalDigest struct {
 	CacheHits   int
 	MemoHits    int
 	Incremental int // records served by the partial-replay path
+	Predicted   int // records carrying surrogate predictions
 	Errors      int
 	Infeasible  int     // records with allocation failures
 	TotalSec    float64 // summed per-configuration durations
@@ -147,6 +154,9 @@ func Digest(recs []Record) JournalDigest {
 		}
 		if r.Incremental {
 			d.Incremental++
+		}
+		if len(r.Predicted) > 0 {
+			d.Predicted++
 		}
 		if r.Error != "" {
 			d.Errors++

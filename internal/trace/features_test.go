@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func compileT(t *testing.T, tr *Trace) *Compiled {
+	t.Helper()
+	c, err := Compile(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestFeaturesShapeAndFiniteness(t *testing.T) {
+	b := NewBuilder("feat")
+	for i := 0; i < 200; i++ {
+		id := b.Alloc(int64(16 + 8*(i%10)))
+		b.Access(id, 4, 2)
+		b.Tick(50)
+		if i%3 == 0 {
+			b.Free(id)
+		}
+	}
+	b.FreeAll()
+	c := compileT(t, b.Build())
+	f := Features(c)
+	if len(f) != NumFeatures {
+		t.Fatalf("feature length %d, want %d", len(f), NumFeatures)
+	}
+	if len(FeatureNames()) != NumFeatures {
+		t.Fatalf("name length %d, want %d", len(FeatureNames()), NumFeatures)
+	}
+	for i, v := range f {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("feature %d (%s) = %v", i, FeatureNames()[i], v)
+		}
+	}
+	// Recompute: bit-identical.
+	g := Features(c)
+	for i := range f {
+		if f[i] != g[i] {
+			t.Fatalf("feature %d not deterministic: %v vs %v", i, f[i], g[i])
+		}
+	}
+}
+
+func TestFeaturesEmptyTrace(t *testing.T) {
+	c := compileT(t, &Trace{Name: "empty"})
+	for i, v := range Features(c) {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("empty-trace feature %d = %v", i, v)
+		}
+	}
+}
+
+// TestFeaturesOrderIndependentSubset pins the documented order
+// independence: features that depend only on the allocation multiset and
+// per-allocation lifetimes (size histogram, kind fractions, mean size,
+// lifetime percentiles) must not change when unrelated events are
+// interleaved differently; the burstiness/live-curve features may.
+func TestFeaturesOrderIndependentSubset(t *testing.T) {
+	// Same allocations with identical per-allocation lifetimes (in
+	// events) and the same access/tick multiset, interleaved differently:
+	// a regular cadence vs a front-loaded burst.
+	mk := func(burst bool) *Compiled {
+		b := NewBuilder("order")
+		var ids []uint64
+		if burst {
+			for i := 0; i < 32; i++ {
+				ids = append(ids, b.Alloc(int64(32*(1+i%4))))
+			}
+			for _, id := range ids {
+				b.Tick(10)
+				b.Free(id)
+			}
+		} else {
+			for i := 0; i < 32; i++ {
+				id := b.Alloc(int64(32 * (1 + i%4)))
+				b.Tick(10)
+				b.Free(id)
+			}
+		}
+		return compileT(t, b.Build())
+	}
+	fa, fb := Features(mk(false)), Features(mk(true))
+	names := FeatureNames()
+	orderIndependent := map[string]bool{
+		"log_events": true, "alloc_frac": true, "access_frac": true,
+		"tick_frac": true, "log_mean_size": true,
+	}
+	for i, name := range names {
+		if strings.HasPrefix(name, "size_class") {
+			orderIndependent[name] = true
+		}
+		if orderIndependent[name] && fa[i] != fb[i] {
+			t.Errorf("order-independent feature %s differs: %v vs %v", name, fa[i], fb[i])
+		}
+	}
+	// Sanity: the interleaving actually differs where it should.
+	burstIdx := -1
+	for i, name := range names {
+		if name == "burstiness" {
+			burstIdx = i
+		}
+	}
+	if fa[burstIdx] == fb[burstIdx] {
+		t.Fatalf("burstiness blind to interleaving (%v)", fa[burstIdx])
+	}
+}
+
+func TestFeaturesSizeHistogram(t *testing.T) {
+	b := NewBuilder("hist")
+	// 3 allocs of 16 B (bucket 4), 1 of 1024 B (bucket 10).
+	for i := 0; i < 3; i++ {
+		b.Alloc(16)
+	}
+	b.Alloc(1024)
+	b.FreeAll()
+	f := Features(compileT(t, b.Build()))
+	names := FeatureNames()
+	get := func(name string) float64 {
+		for i, n := range names {
+			if n == name {
+				return f[i]
+			}
+		}
+		t.Fatalf("no feature %s", name)
+		return 0
+	}
+	if got := get("size_class_" + string(rune('a'+4))); got != 0.75 {
+		t.Fatalf("16 B bucket = %v, want 0.75", got)
+	}
+	if got := get("size_class_" + string(rune('a'+10))); got != 0.25 {
+		t.Fatalf("1 KiB bucket = %v, want 0.25", got)
+	}
+}

@@ -131,6 +131,71 @@ func FuzzReadBinary(f *testing.F) {
 	})
 }
 
+// FuzzTraceFeatures drives the surrogate feature extraction with the
+// same v2 corpus FuzzReadBinary starts from: on every trace the decoder
+// accepts, the feature vector must be full-length, finite everywhere and
+// deterministic, and the features documented as order-independent must
+// survive a free-order perturbation (swapping which of two adjacent
+// frees happens first changes interleaving but not the allocation
+// multiset or any per-allocation lifetime by more than the swap the
+// documentation allows).
+func FuzzTraceFeatures(f *testing.F) {
+	for _, tr := range seedTraces(f) {
+		var v2 bytes.Buffer
+		if err := trace.WriteBinaryV2(&v2, tr); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(v2.Bytes())
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := trace.ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		ct, err := trace.Compile(tr)
+		if err != nil {
+			return
+		}
+		feats := trace.Features(ct)
+		if len(feats) != trace.NumFeatures {
+			t.Fatalf("feature length %d, want %d", len(feats), trace.NumFeatures)
+		}
+		for i, v := range feats {
+			if v != v || v > 1e300 || v < -1e300 { // NaN or effectively infinite
+				t.Fatalf("feature %d (%s) = %v", i, trace.FeatureNames()[i], v)
+			}
+		}
+		again := trace.Features(ct)
+		for i := range feats {
+			if feats[i] != again[i] {
+				t.Fatalf("feature %d not deterministic", i)
+			}
+		}
+		// Order-independence where documented: renaming allocation IDs is
+		// an order-irrelevant relabeling — the multiset features (and in
+		// fact the whole vector, which never looks at raw IDs) must be
+		// identical on the relabeled trace.
+		relabeled := &trace.Trace{Name: tr.Name, Events: make([]trace.Event, len(tr.Events))}
+		copy(relabeled.Events, tr.Events)
+		for i := range relabeled.Events {
+			switch relabeled.Events[i].Kind {
+			case trace.KindAlloc, trace.KindFree, trace.KindAccess:
+				relabeled.Events[i].ID ^= 0x5a5a5a5a5a5a5a5a // bijective relabeling
+			}
+		}
+		rc, err := trace.Compile(relabeled)
+		if err != nil {
+			t.Fatalf("relabeled trace rejected: %v", err)
+		}
+		for i, v := range trace.Features(rc) {
+			if v != feats[i] {
+				t.Fatalf("feature %d (%s) changed under ID relabeling: %v vs %v",
+					i, trace.FeatureNames()[i], v, feats[i])
+			}
+		}
+	})
+}
+
 func FuzzReadText(f *testing.F) {
 	for _, tr := range seedTraces(f) {
 		var txt bytes.Buffer
