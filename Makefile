@@ -78,3 +78,14 @@ fuzz-smoke:
 .PHONY: bench-telemetry
 bench-telemetry:
 	$(GO) test ./internal/profile/ -run '^$$' -bench 'BenchmarkReplay(Easyport|Telemetry)' -benchtime 2s -benchmem
+
+# bench-observe gates the observability layer: the same seeded
+# surrogate-assisted hill-climb with the span flight recorder attached
+# and without must match bit-for-bit (evaluation sequence, metrics,
+# provenance) at 1 and 4 workers, and recording must cost at most 2% of
+# wall time (interleaved best-of-N minimums). Writes BENCH_observe.json
+# plus the CI artifacts results/observe/run.trace.json (Perfetto-loadable)
+# and results/observe/metrics.txt (the /metrics exposition).
+.PHONY: bench-observe
+bench-observe:
+	$(GO) run scripts/benchobserve.go

@@ -15,9 +15,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"dmexplore/internal/core"
@@ -26,6 +29,7 @@ import (
 	"dmexplore/internal/profile"
 	"dmexplore/internal/report"
 	"dmexplore/internal/telemetry"
+	"dmexplore/internal/telemetry/span"
 	"dmexplore/internal/trace"
 	"dmexplore/internal/workload"
 )
@@ -59,7 +63,9 @@ func run(args []string, out io.Writer) error {
 		surrogate     = fs.Bool("surrogate", false, "surrogate-assisted screening: rank candidates with online per-objective models so guided strategies spend the budget on the most promising simulations")
 		surrogateWarm = fs.String("surrogate-warm", "", "warm-start the surrogate from a prior journal.jsonl (same space and workload)")
 		quiet         = fs.Bool("quiet", false, "suppress progress output")
-		metricsAddr   = fs.String("metrics-addr", "", "serve live telemetry (expvar) and pprof at this address, e.g. localhost:6060")
+		metricsAddr   = fs.String("metrics-addr", "", "serve Prometheus /metrics, /healthz, expvar and pprof at this address, e.g. localhost:6060")
+		traceOut      = fs.String("trace-out", "", "write the pipeline flight recorder as Chrome trace-event JSON (load in Perfetto) to this file")
+		evalLatency   = fs.Duration("eval-latency", 0, "model a per-simulation backend latency, e.g. 2ms (cache/memo hits skip it)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,12 +75,25 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	workerN := *workers
+	if workerN <= 0 {
+		workerN = runtime.GOMAXPROCS(0)
+	}
+	// The flight recorder is opt-in: tracing costs nothing measurable,
+	// but the overhead gate (make bench-observe) compares against a run
+	// with no recorder attached at all. Created before ingest/compile so
+	// those stages land spans too.
+	var spans *span.Recorder
+	if *traceOut != "" || *metricsAddr != "" {
+		spans = span.NewRecorder(workerN, span.DefaultRingCapacity)
+	}
 	var tr *trace.Trace
 	if *tracePath != "" {
 		f, err := os.Open(*tracePath)
 		if err != nil {
 			return err
 		}
+		ingestStart := time.Now()
 		tr, err = trace.ReadAuto(f)
 		f.Close()
 		if err != nil {
@@ -82,6 +101,9 @@ func run(args []string, out io.Writer) error {
 		}
 		if err := tr.Validate(); err != nil {
 			return fmt.Errorf("trace %s: %w", *tracePath, err)
+		}
+		if spans != nil {
+			spans.Coord().Since(span.StageTraceIngest, ingestStart, int64(tr.Len()))
 		}
 	} else {
 		gen, err := workload.New(*workloadName, *seed, *scale)
@@ -134,16 +156,16 @@ func run(args []string, out io.Writer) error {
 
 	// Compile the trace once up front: every configuration the sweep
 	// profiles replays the same compiled form.
+	compileStart := time.Now()
 	ct, err := trace.Compile(tr)
 	if err != nil {
 		return err
 	}
-	workerN := *workers
-	if workerN <= 0 {
-		workerN = runtime.GOMAXPROCS(0)
+	if spans != nil {
+		spans.Coord().Since(span.StageCompile, compileStart, int64(tr.Len()))
 	}
 	col := telemetry.NewCollector(workerN)
-	runner := &core.Runner{Hierarchy: hier, Trace: tr, Compiled: ct, Workers: *workers, Telemetry: col, Incremental: *incremental}
+	runner := &core.Runner{Hierarchy: hier, Trace: tr, Compiled: ct, Workers: *workers, Telemetry: col, Incremental: *incremental, EvalLatency: *evalLatency, Spans: spans}
 	var surReport *core.SurrogateReport
 	if *surrogate {
 		surReport = &core.SurrogateReport{}
@@ -165,12 +187,12 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("-surrogate-warm requires -surrogate")
 	}
 	if *metricsAddr != "" {
-		srv, err := telemetry.Serve(*metricsAddr, col)
+		srv, err := telemetry.Serve(*metricsAddr, col, spans)
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
-		fmt.Fprintf(out, "metrics    http://%s/debug/vars (pprof at /debug/pprof/)\n", srv.Addr)
+		fmt.Fprintf(out, "metrics    http://%s/metrics (expvar at /debug/vars, pprof at /debug/pprof/)\n", srv.Addr)
 	}
 	if *cachePath != "" {
 		cache, err := core.OpenResultsCache(*cachePath)
@@ -208,6 +230,64 @@ func run(args []string, out io.Writer) error {
 	}
 
 	start := time.Now()
+	// An interrupted sweep must still explain itself: on SIGINT/SIGTERM
+	// flush the journal tail, write an Interrupted run summary and the
+	// span trace, then exit 128+signal like a shell would. The Once makes
+	// the normal completion path and the signal path mutually exclusive.
+	var finalizeOnce sync.Once
+	writeTrace := func() {
+		if *traceOut == "" || spans == nil {
+			return
+		}
+		if err := spans.WriteTraceFile(*traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "dmexplore: writing trace: %v\n", err)
+		}
+	}
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer func() {
+		// Stop guarantees no further sends, so the close below cleanly
+		// unblocks the handler goroutine when run returns normally.
+		signal.Stop(sigc)
+		close(sigc)
+	}()
+	go func() {
+		sig, ok := <-sigc
+		if !ok {
+			return
+		}
+		finalizeOnce.Do(func() {
+			if journal != nil {
+				_ = journal.Flush()
+			}
+			if *outDir != "" {
+				snap := col.Snapshot()
+				sum := telemetry.RunSummary{
+					Tool:           "dmexplore",
+					Workload:       tr.Name,
+					Space:          space.Name,
+					Strategy:       *strategy,
+					Objectives:     objs,
+					Configurations: int(snap.Done()),
+					ElapsedSec:     time.Since(start).Seconds(),
+					Telemetry:      snap,
+					Stages:         activeStages(spans),
+					Interrupted:    true,
+				}
+				if journal != nil {
+					sum.JournalRecords = journal.Len()
+				}
+				_ = telemetry.WriteRunSummary(filepath.Join(*outDir, "run-summary.json"), sum)
+			}
+			writeTrace()
+			fmt.Fprintf(os.Stderr, "dmexplore: interrupted (%v), journal flushed\n", sig)
+		})
+		code := 130
+		if sig == syscall.SIGTERM {
+			code = 143
+		}
+		os.Exit(code)
+	}()
 	var results []core.Result
 	switch {
 	case *strategy == "screen":
@@ -327,6 +407,15 @@ func run(args []string, out io.Writer) error {
 		knee := front[min(k, len(front)-1)]
 		fmt.Fprintf(out, "  knee: config %d %v\n", knee.Index, knee.Labels)
 	}
+	if spans != nil {
+		fmt.Fprintln(out, "\npipeline stages (spans, total time):")
+		for _, st := range activeStages(spans) {
+			fmt.Fprintf(out, "  %-16s %8d %10.3fs\n", st.Name, st.Count, st.Seconds)
+		}
+		if d := spans.Dropped(); d > 0 {
+			fmt.Fprintf(out, "  (%d spans dropped: per-worker ring wrapped)\n", d)
+		}
+	}
 	fmt.Fprintln(out, "\nfront (index, labels, objectives):")
 	for _, r := range front {
 		fmt.Fprintf(out, "  #%-6d %-60s", r.Index, strings.Join(r.Labels, ","))
@@ -341,39 +430,68 @@ func run(args []string, out io.Writer) error {
 		if err := writeReports(*outDir, space, results, feasible, front, objs); err != nil {
 			return err
 		}
-		journalRecords := journal.Len()
-		if err := journal.Close(); err != nil {
-			return fmt.Errorf("closing journal: %w", err)
-		}
-		sum := telemetry.RunSummary{
-			Tool:           "dmexplore",
-			Workload:       tr.Name,
-			Space:          space.Name,
-			Strategy:       *strategy,
-			Objectives:     objs,
-			Configurations: len(results),
-			Feasible:       len(feasible),
-			ParetoFront:    len(front),
-			JournalRecords: journalRecords,
-			ElapsedSec:     elapsed.Seconds(),
-			Telemetry:      snap,
-		}
-		if runner.Cache != nil {
-			cs := runner.Cache.Stats()
-			sum.Cache = &telemetry.CacheSummary{
-				Path:    *cachePath,
-				Entries: runner.Cache.Len(),
-				Hits:    cs.Hits,
-				Misses:  cs.Misses,
-				Stale:   cs.Stale,
+	}
+	var finErr error
+	finalizeOnce.Do(func() {
+		if *outDir != "" {
+			journalRecords := journal.Len()
+			if err := journal.Close(); err != nil {
+				finErr = fmt.Errorf("closing journal: %w", err)
+				return
 			}
+			sum := telemetry.RunSummary{
+				Tool:           "dmexplore",
+				Workload:       tr.Name,
+				Space:          space.Name,
+				Strategy:       *strategy,
+				Objectives:     objs,
+				Configurations: len(results),
+				Feasible:       len(feasible),
+				ParetoFront:    len(front),
+				JournalRecords: journalRecords,
+				ElapsedSec:     elapsed.Seconds(),
+				Telemetry:      snap,
+				Stages:         activeStages(spans),
+			}
+			if runner.Cache != nil {
+				cs := runner.Cache.Stats()
+				sum.Cache = &telemetry.CacheSummary{
+					Path:    *cachePath,
+					Entries: runner.Cache.Len(),
+					Hits:    cs.Hits,
+					Misses:  cs.Misses,
+					Stale:   cs.Stale,
+				}
+			}
+			if finErr = telemetry.WriteRunSummary(filepath.Join(*outDir, "run-summary.json"), sum); finErr != nil {
+				return
+			}
+			fmt.Fprintf(out, "\nreports written to %s\n", *outDir)
 		}
-		if err := telemetry.WriteRunSummary(filepath.Join(*outDir, "run-summary.json"), sum); err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "\nreports written to %s\n", *outDir)
+		writeTrace()
+	})
+	if finErr != nil {
+		return finErr
+	}
+	if *traceOut != "" {
+		fmt.Fprintf(out, "trace      %s (load at https://ui.perfetto.dev or chrome://tracing)\n", *traceOut)
 	}
 	return nil
+}
+
+// activeStages reduces the flight recorder to the stages that actually
+// ran — the run summary's per-stage time breakdown.
+func activeStages(rec *span.Recorder) []span.StageSnapshot {
+	if rec == nil {
+		return nil
+	}
+	var out []span.StageSnapshot
+	for _, st := range rec.Snapshot() {
+		if st.Count > 0 {
+			out = append(out, st)
+		}
+	}
+	return out
 }
 
 func pickHierarchy(name string) (*memhier.Hierarchy, error) {

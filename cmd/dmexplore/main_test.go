@@ -2,12 +2,16 @@ package main
 
 import (
 	"bytes"
+	"io"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"dmexplore/internal/telemetry"
+	"dmexplore/internal/telemetry/span"
 )
 
 func TestRunSmallExploration(t *testing.T) {
@@ -221,6 +225,179 @@ func TestRunProgressLine(t *testing.T) {
 	if !strings.Contains(s, "telemetry") {
 		t.Fatalf("telemetry summary missing:\n%s", s)
 	}
+}
+
+// TestRunTraceOutAndStageSummary pins the flight-recorder acceptance:
+// -trace-out writes a Chrome trace-event JSON with events on every
+// active ring, run-summary.json carries the per-stage breakdown, and
+// the dominant stages account for the evaluation wall time.
+func TestRunTraceOutAndStageSummary(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "run.trace.json")
+	var out bytes.Buffer
+	err := run([]string{
+		"-workload", "easyport", "-scale", "5", "-quiet",
+		"-sample", "24", "-workers", "2",
+		"-out", dir, "-trace-out", tracePath,
+		"-cache", filepath.Join(dir, "cache.jsonl"),
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "pipeline stages") {
+		t.Fatalf("stage breakdown not printed:\n%s", out.String())
+	}
+
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, dropped, err := span.ReadTrace(data)
+	if err != nil {
+		t.Fatalf("trace not loadable: %v", err)
+	}
+	if dropped != 0 {
+		t.Fatalf("dropped %d spans in a tiny run", dropped)
+	}
+	byStage := map[string]int{}
+	for _, ev := range events {
+		if ev.Phase == "X" {
+			byStage[ev.Name]++
+		}
+	}
+	for _, stage := range []string{"compile", "full-sim", "batch-wave", "cache-probe"} {
+		if byStage[stage] == 0 {
+			t.Fatalf("trace has no %q events: %v", stage, byStage)
+		}
+	}
+	if byStage["full-sim"] != 24 {
+		t.Fatalf("full-sim events %d, want 24", byStage["full-sim"])
+	}
+
+	sum, err := telemetry.ReadRunSummary(filepath.Join(dir, "run-summary.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Stages) == 0 || sum.Interrupted {
+		t.Fatalf("summary stages %v interrupted %v", sum.Stages, sum.Interrupted)
+	}
+	stageSec := map[string]float64{}
+	for _, st := range sum.Stages {
+		if st.Count == 0 {
+			t.Fatalf("summary carries an idle stage: %+v", st)
+		}
+		stageSec[st.Name] = st.Seconds
+	}
+	// The coordinator's batch wave encloses the whole evaluation: its
+	// recorded time must be within the run's wall clock, and the sim
+	// time within the wave time (cross-checked against the collector).
+	if stageSec["batch-wave"] <= 0 || stageSec["batch-wave"] > sum.ElapsedSec {
+		t.Fatalf("batch-wave %.4fs vs elapsed %.4fs", stageSec["batch-wave"], sum.ElapsedSec)
+	}
+	if stageSec["full-sim"] <= 0 || stageSec["full-sim"] > sum.Telemetry.SimSecTotal*1.05+0.001 {
+		t.Fatalf("full-sim %.4fs vs telemetry sim %.4fs", stageSec["full-sim"], sum.Telemetry.SimSecTotal)
+	}
+}
+
+// TestRunSigintFlushesJournal re-executes the test binary as a real
+// dmexplore sweep (helper process below), interrupts it mid-run, and
+// requires the journal tail, an Interrupted run summary and the span
+// trace on disk — the flight recorder's crash-forensics contract.
+func TestRunSigintFlushesJournal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-execs the test binary")
+	}
+	dir := t.TempDir()
+	cmd := exec.Command(os.Args[0], "-test.run", "TestHelperSlowSweep", "-test.v")
+	cmd.Env = append(os.Environ(), "DMEXPLORE_HELPER_SWEEP=1", "DMEXPLORE_HELPER_DIR="+dir)
+	var cmdOut bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &cmdOut, &cmdOut
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait for the sweep to be demonstrably underway: journal on disk
+	// with a few flushed-or-buffered records behind it.
+	journalPath := filepath.Join(dir, "journal.jsonl")
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if fi, err := os.Stat(journalPath); err == nil && fi.Size() > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			t.Fatalf("sweep never started:\n%s", cmdOut.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	time.Sleep(200 * time.Millisecond)
+
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	err := cmd.Wait()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 130 {
+		t.Fatalf("exit %v (want code 130):\n%s", err, cmdOut.String())
+	}
+
+	// Every journal line must parse — an unflushed buffer would truncate
+	// the tail mid-record.
+	f, err := os.Open(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := telemetry.ReadJournal(f)
+	f.Close()
+	if err != nil {
+		t.Fatalf("journal tail corrupt after SIGINT: %v", err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("journal empty after SIGINT")
+	}
+	for _, rec := range recs {
+		if rec.Origin == nil {
+			t.Fatalf("record %d lost its origin", rec.Index)
+		}
+	}
+
+	sum, err := telemetry.ReadRunSummary(filepath.Join(dir, "run-summary.json"))
+	if err != nil {
+		t.Fatalf("no run summary after SIGINT: %v", err)
+	}
+	if !sum.Interrupted {
+		t.Fatalf("summary not marked interrupted: %+v", sum)
+	}
+	if sum.Configurations == 0 || len(sum.Stages) == 0 {
+		t.Fatalf("interrupted summary empty: %+v", sum)
+	}
+
+	data, err := os.ReadFile(filepath.Join(dir, "run.trace.json"))
+	if err != nil {
+		t.Fatalf("no trace after SIGINT: %v", err)
+	}
+	events, _, err := span.ReadTrace(data)
+	if err != nil || len(events) == 0 {
+		t.Fatalf("trace after SIGINT: %d events, err %v", len(events), err)
+	}
+}
+
+// TestHelperSlowSweep is not a test: it is the child process body for
+// TestRunSigintFlushesJournal — a deliberately slow sweep (modelled
+// backend latency) that the parent interrupts.
+func TestHelperSlowSweep(t *testing.T) {
+	if os.Getenv("DMEXPLORE_HELPER_SWEEP") != "1" {
+		t.Skip("helper process body")
+	}
+	dir := os.Getenv("DMEXPLORE_HELPER_DIR")
+	err := run([]string{
+		"-workload", "easyport", "-scale", "5", "-quiet",
+		"-sample", "256", "-workers", "2", "-eval-latency", "25ms",
+		"-out", dir, "-trace-out", filepath.Join(dir, "run.trace.json"),
+	}, io.Discard)
+	// The signal handler exits 130 before run returns; reaching here
+	// means the parent never interrupted us.
+	t.Fatalf("sweep ran to completion (err=%v)", err)
 }
 
 func TestRunHillClimbAndAnnealStrategies(t *testing.T) {

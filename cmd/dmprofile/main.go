@@ -113,12 +113,12 @@ func run(args []string, out io.Writer) error {
 
 	col := telemetry.NewCollector(1)
 	if *metricsAddr != "" {
-		srv, err := telemetry.Serve(*metricsAddr, col)
+		srv, err := telemetry.Serve(*metricsAddr, col, nil)
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
-		fmt.Fprintf(out, "metrics     http://%s/debug/vars (pprof at /debug/pprof/)\n", srv.Addr)
+		fmt.Fprintf(out, "metrics     http://%s/metrics (expvar at /debug/vars, pprof at /debug/pprof/)\n", srv.Addr)
 	}
 	ct, err := trace.Compile(tr)
 	if err != nil {

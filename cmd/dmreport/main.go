@@ -39,6 +39,7 @@ func run(args []string, out io.Writer) error {
 	var (
 		inPath      = fs.String("in", "", "results CSV written by dmexplore (required unless -journal)")
 		journalPath = fs.String("journal", "", "summarize a journal.jsonl written by dmexplore instead of a results CSV")
+		lineage     = fs.Bool("lineage", false, "with -journal: reconstruct the ancestry tree of every Pareto-front member from the journaled provenance")
 		axes        = fs.Int("axes", 0, "number of leading axis-label columns in the CSV (required)")
 		objectives  = fs.String("objectives", "accesses,footprint", "comma-separated minimization objectives")
 		outDir      = fs.String("out", "", "directory for regenerated reports (none when empty)")
@@ -46,6 +47,19 @@ func run(args []string, out io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	objs := strings.Split(*objectives, ",")
+	for i := range objs {
+		objs[i] = strings.TrimSpace(objs[i])
+	}
+	if len(objs) < 2 {
+		return fmt.Errorf("need at least two objectives")
+	}
+	if *lineage {
+		if *journalPath == "" {
+			return fmt.Errorf("-lineage needs -journal journal.jsonl")
+		}
+		return lineageReport(out, *journalPath, objs)
 	}
 	if *journalPath != "" {
 		return summarizeJournal(out, *journalPath)
@@ -55,13 +69,6 @@ func run(args []string, out io.Writer) error {
 	}
 	if *axes <= 0 {
 		return fmt.Errorf("need -axes (the CSV's leading label column count)")
-	}
-	objs := strings.Split(*objectives, ",")
-	for i := range objs {
-		objs[i] = strings.TrimSpace(objs[i])
-	}
-	if len(objs) < 2 {
-		return fmt.Errorf("need at least two objectives")
 	}
 
 	f, err := os.Open(*inPath)
@@ -150,6 +157,146 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "reports written to %s\n", *outDir)
 	return nil
+}
+
+// lineageReport reconstructs the search's provenance from a journal:
+// the Pareto front for the requested objectives, then for each front
+// member the full ancestry tree — which operator produced it, in which
+// wave, from which parents, and what the surrogate decided — ending in
+// an operator-attribution summary of the whole front.
+func lineageReport(out io.Writer, path string, objs []string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	recs, err := telemetry.ReadJournal(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("journal %s has no records", path)
+	}
+	byIdx := telemetry.LineageIndex(recs)
+
+	// Rebuild the results in index order (map iteration would make the
+	// report ordering run-dependent) and reduce to the front.
+	idxs := make([]int, 0, len(byIdx))
+	for idx := range byIdx {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	results := make([]core.Result, 0, len(idxs))
+	strategies := make(map[string]bool)
+	for _, idx := range idxs {
+		rec := byIdx[idx]
+		results = append(results, journalResult(rec))
+		if rec.Origin != nil {
+			strategies[rec.Origin.Strategy] = true
+		}
+	}
+	front, _, err := core.ParetoSet(core.Feasible(results), objs)
+	if err != nil {
+		return err
+	}
+
+	names := make([]string, 0, len(strategies))
+	for s := range strategies {
+		names = append(names, s)
+	}
+	sort.Strings(names)
+	strategy := strings.Join(names, "+")
+	if strategy == "" {
+		strategy = "(no provenance)"
+	}
+	fmt.Fprintf(out, "lineage    %s: %d records, %d configurations, strategy %s\n",
+		path, len(recs), len(byIdx), strategy)
+	fmt.Fprintf(out, "front      %d members (objectives %s)\n", len(front), strings.Join(objs, ", "))
+
+	frontIdx := make([]int, len(front))
+	for i, m := range front {
+		frontIdx[i] = m.Index
+		rec := byIdx[m.Index]
+		fmt.Fprintf(out, "\n#%-6d %s  [%s]", m.Index, strings.Join(m.Labels, ","), describeOrigin(rec.Origin))
+		for _, obj := range objs {
+			if v, ok := recordObjective(rec, obj); ok {
+				fmt.Fprintf(out, "  %s=%.4g", obj, v)
+			}
+		}
+		fmt.Fprintln(out)
+		printAncestry(out, byIdx, m.Index, "  ", map[int]bool{m.Index: true})
+	}
+
+	fmt.Fprintf(out, "\nfront operators:")
+	for _, oc := range telemetry.CountOps(byIdx, frontIdx) {
+		fmt.Fprintf(out, "  %s %d", oc.Op, oc.Count)
+	}
+	fmt.Fprintln(out)
+	return nil
+}
+
+// printAncestry renders idx's parents as a tree, recursing until the
+// ancestry bottoms out in parentless origins. seen collapses shared
+// ancestors: an index already expanded in this tree is listed but not
+// expanded again, so diamonds (and cycles in damaged journals) stay
+// finite.
+func printAncestry(out io.Writer, byIdx map[int]telemetry.Record, idx int, prefix string, seen map[int]bool) {
+	rec, ok := byIdx[idx]
+	if !ok || rec.Origin == nil {
+		return
+	}
+	parents := rec.Origin.Parents
+	for i, p := range parents {
+		glyph, cont := "├─ ", "│  "
+		if i == len(parents)-1 {
+			glyph, cont = "└─ ", "   "
+		}
+		expanded := seen[p]
+		note := ""
+		if expanded {
+			note = "  (see above)"
+		}
+		fmt.Fprintf(out, "%s%s#%d %s%s\n", prefix, glyph, p, describeOrigin(byIdx[p].Origin), note)
+		if expanded {
+			continue
+		}
+		seen[p] = true
+		printAncestry(out, byIdx, p, prefix+cont, seen)
+	}
+}
+
+// describeOrigin renders one origin as "op wave N" plus the surrogate's
+// decision when it made one.
+func describeOrigin(o *telemetry.Origin) string {
+	if o == nil {
+		return "(no provenance)"
+	}
+	s := fmt.Sprintf("%s wave %d", o.Op, o.Wave)
+	if o.SurrogateRank > 0 {
+		s += fmt.Sprintf(", surrogate rank %d", o.SurrogateRank)
+	}
+	if o.Admit != "" {
+		s += ", admit " + o.Admit
+	}
+	return s
+}
+
+// journalResult rebuilds the core result a journal record was written
+// from — enough for feasibility filtering and Pareto reduction.
+func journalResult(rec telemetry.Record) core.Result {
+	res := core.Result{Index: rec.Index, Labels: rec.Labels}
+	if rec.Error != "" {
+		res.Err = fmt.Errorf("%s", rec.Error)
+		return res
+	}
+	res.Metrics = &profile.Metrics{
+		Accesses:       rec.Accesses,
+		FootprintBytes: rec.FootprintBytes,
+		EnergyNJ:       rec.EnergyNJ,
+		Cycles:         rec.Cycles,
+		Failures:       rec.Failures,
+	}
+	return res
 }
 
 // summarizeJournal digests a run journal: where the sweep's time went,

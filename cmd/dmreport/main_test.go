@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -12,6 +14,8 @@ import (
 	"dmexplore/internal/report"
 	"dmexplore/internal/telemetry"
 )
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
 
 func writeSampleCSV(t *testing.T) string {
 	t.Helper()
@@ -161,5 +165,99 @@ func TestJournalSummaryMissingFile(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-journal", "/nonexistent/journal.jsonl"}, &out); err == nil {
 		t.Fatal("missing journal accepted")
+	}
+}
+
+// TestLineageGolden pins `dmreport -lineage` against a recorded journal
+// (testdata/journal.jsonl: a seeded surrogate-assisted NSGA-II run).
+// The rendered ancestry trees are a contract — regenerate with
+// `go test ./cmd/dmreport -run Lineage -update` after deliberate
+// format changes.
+func TestLineageGolden(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-lineage", "-journal", filepath.Join("testdata", "journal.jsonl"),
+		"-objectives", "accesses,footprint",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+
+	golden := filepath.Join("testdata", "lineage.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run: go test ./cmd/dmreport -run Lineage -update)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("lineage output drifted from %s:\n%s", golden, got)
+	}
+}
+
+// TestLineageTreesComplete verifies the semantics independently of the
+// golden bytes: every front member is printed with its operator and
+// every ancestor the journal knows about appears in its tree.
+func TestLineageTreesComplete(t *testing.T) {
+	path := filepath.Join("testdata", "journal.jsonl")
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := telemetry.ReadJournal(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byIdx := telemetry.LineageIndex(recs)
+
+	var out bytes.Buffer
+	if err := run([]string{"-lineage", "-journal", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"strategy nsga2", "front operators:", "surrogate rank", "admit"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("lineage output missing %q:\n%s", want, s)
+		}
+	}
+
+	// Recompute the front exactly as the report does and check each
+	// member's full ancestor closure is rendered.
+	idxs := make([]int, 0, len(byIdx))
+	for idx := range byIdx {
+		idxs = append(idxs, idx)
+	}
+	results := make([]core.Result, 0, len(idxs))
+	for _, rec := range byIdx {
+		results = append(results, journalResult(rec))
+	}
+	front, _, err := core.ParetoSet(core.Feasible(results), []string{"accesses", "footprint"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(front) == 0 {
+		t.Fatal("recorded journal yields an empty front")
+	}
+	for _, m := range front {
+		if !strings.Contains(s, fmt.Sprintf("#%-6d", m.Index)) {
+			t.Errorf("front member #%d not reported", m.Index)
+		}
+		for _, anc := range telemetry.Ancestors(byIdx, m.Index) {
+			if !strings.Contains(s, fmt.Sprintf("#%d ", anc)) {
+				t.Errorf("ancestor #%d of #%d missing from the tree", anc, m.Index)
+			}
+		}
+	}
+}
+
+func TestLineageRequiresJournal(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-lineage"}, &out); err == nil {
+		t.Fatal("-lineage without -journal accepted")
 	}
 }

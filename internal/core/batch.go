@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"sync"
+
+	"dmexplore/internal/telemetry"
 )
 
 // evalBatcher is the deduplicating evaluation layer under the guided
@@ -28,10 +30,23 @@ type evalBatcher struct {
 	predict  func(idx int) map[string]float64
 	onResult func(Result)
 
+	// strategy names the owning search in every origin the batcher
+	// emits; it is set once, right after construction, before any
+	// evaluation.
+	strategy string
+
 	mu       sync.Mutex
 	results  map[int]Result
 	inflight map[int]chan struct{} // closed when the owning batch lands
 	order    []int                 // successful first evaluations, in request order
+
+	// Lineage state: pending holds the provenance strategies tagged onto
+	// candidates that have not been evaluated yet (first tag wins, so a
+	// deduplicated candidate keeps the operator that bred it first);
+	// wave counts fresh-evaluation waves, stamping every origin with the
+	// generation it was profiled in.
+	pending map[int]*telemetry.Origin
+	wave    int
 }
 
 func newEvalBatcher(sess *EvalSession) *evalBatcher {
@@ -39,7 +54,66 @@ func newEvalBatcher(sess *EvalSession) *evalBatcher {
 		sess:     sess,
 		results:  make(map[int]Result),
 		inflight: make(map[int]chan struct{}),
+		pending:  make(map[int]*telemetry.Origin),
 	}
+}
+
+// tag records the search provenance of a candidate before evaluation:
+// the operator that produced it and the configuration(s) it derives
+// from. The first tag for an index wins — when two operators breed the
+// same genome, the journal attributes it to the first — and tags on
+// already-profiled indices are dropped (their provenance is already
+// journaled).
+func (b *evalBatcher) tag(idx int, op string, parents ...int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, done := b.results[idx]; done {
+		return
+	}
+	o := b.pending[idx]
+	if o == nil {
+		o = &telemetry.Origin{}
+		b.pending[idx] = o
+	}
+	if o.Op == "" {
+		o.Op = op
+		if len(parents) > 0 {
+			o.Parents = append([]int(nil), parents...)
+		}
+	}
+}
+
+// noteRank annotates a pending candidate with its 1-based position in
+// the latest surrogate ranking; the last ranking before evaluation is
+// the one journaled.
+func (b *evalBatcher) noteRank(idx, rank int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, done := b.results[idx]; done {
+		return
+	}
+	o := b.pending[idx]
+	if o == nil {
+		o = &telemetry.Origin{}
+		b.pending[idx] = o
+	}
+	o.SurrogateRank = rank
+}
+
+// noteAdmit annotates how a surrogate screen admitted a pending
+// candidate ("score" or "explore").
+func (b *evalBatcher) noteAdmit(idx int, admit string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, done := b.results[idx]; done {
+		return
+	}
+	o := b.pending[idx]
+	if o == nil {
+		o = &telemetry.Origin{}
+		b.pending[idx] = o
+	}
+	o.Admit = admit
 }
 
 // getBatch returns a result per requested index, in request order. Indices
@@ -73,6 +147,28 @@ func (b *evalBatcher) getBatch(indices []int) ([]Result, error) {
 		b.inflight[idx] = mine
 		todo = append(todo, idx)
 	}
+	// Consume the claimed candidates' pending provenance, stamping the
+	// strategy and the fresh-evaluation wave number. Untagged indices
+	// (reference probes, test-driven batches) fall back to a bare
+	// "probe" origin so every journaled evaluation has one.
+	var origins []*telemetry.Origin
+	if len(todo) > 0 {
+		b.wave++
+		origins = make([]*telemetry.Origin, len(todo))
+		for i, idx := range todo {
+			o := b.pending[idx]
+			if o == nil {
+				o = &telemetry.Origin{}
+			}
+			delete(b.pending, idx)
+			if o.Op == "" {
+				o.Op = "probe"
+			}
+			o.Strategy = b.strategy
+			o.Wave = b.wave
+			origins[i] = o
+		}
+	}
 	b.mu.Unlock()
 
 	if len(todo) > 0 {
@@ -83,7 +179,7 @@ func (b *evalBatcher) getBatch(indices []int) ([]Result, error) {
 				preds[i] = b.predict(idx)
 			}
 		}
-		res, err := b.sess.EvalPredicted(todo, preds)
+		res, err := b.sess.EvalAnnotated(todo, preds, origins)
 		b.mu.Lock()
 		for i, idx := range todo {
 			if res != nil {

@@ -45,6 +45,7 @@ func (r *Runner) Evolve(space *Space, objectives []string, opts EvolveOptions) (
 	}
 	defer sess.Close()
 	batcher := newEvalBatcher(sess)
+	batcher.strategy = "nsga2"
 	rng := stats.NewRNG(opts.Seed)
 	sur := r.newSurrogate(sess, equalWeights(objectives))
 	sur.paretoRank()
@@ -61,6 +62,9 @@ func (r *Runner) Evolve(space *Space, objectives []string, opts EvolveOptions) (
 		}
 		seen[idx] = true
 		pop = append(pop, idx)
+	}
+	for _, idx := range pop {
+		batcher.tag(idx, "seed")
 	}
 	if _, err := batcher.getBatch(pop); err != nil {
 		return nil, err
@@ -86,8 +90,9 @@ func (r *Runner) Evolve(space *Space, objectives []string, opts EvolveOptions) (
 			for len(cands) < surrogateOversample*opts.Population {
 				a := tournament(rng, pop, ranks, crowd)
 				b := tournament(rng, pop, ranks, crowd)
-				child := crossover(rng, space, a, b)
-				cands = append(cands, mutate(rng, space, child, opts.MutationRate))
+				child := mutate(rng, space, crossover(rng, space, a, b), opts.MutationRate)
+				batcher.tag(child, "crossover", a, b)
+				cands = append(cands, child)
 			}
 			cands = dedupInts(cands)
 			var unseen []int
@@ -114,6 +119,7 @@ func (r *Runner) Evolve(space *Space, objectives []string, opts EvolveOptions) (
 				if !batcher.has(child) {
 					newEvals++
 				}
+				batcher.tag(child, "crossover", a, b)
 				offspring = append(offspring, child)
 			}
 		}

@@ -8,6 +8,7 @@ import (
 	"dmexplore/internal/profile"
 	"dmexplore/internal/stats"
 	"dmexplore/internal/telemetry"
+	"dmexplore/internal/telemetry/span"
 	"dmexplore/internal/trace"
 )
 
@@ -37,6 +38,11 @@ type Result struct {
 	// prediction accuracy can be audited offline against the exact
 	// metrics on the same record.
 	Predicted map[string]float64
+	// Origin is the configuration's search provenance (strategy, wave,
+	// operator, parents, surrogate decision), stamped by the evaluation
+	// pipeline on the first exact evaluation and preserved in the
+	// journal for `dmreport -lineage`.
+	Origin *telemetry.Origin
 }
 
 // JournalRecord converts the result to its run-journal form.
@@ -51,6 +57,7 @@ func (r Result) JournalRecord() telemetry.Record {
 		Incremental:   r.Incremental,
 		EventsSkipped: r.EventsSkipped,
 	}
+	rec.Origin = r.Origin
 	if r.Err != nil {
 		rec.Error = r.Err.Error()
 		return rec
@@ -96,6 +103,14 @@ type Runner struct {
 	// Search strategies issuing several run phases accumulate into the
 	// same collector.
 	Telemetry *telemetry.Collector
+
+	// Spans, when non-nil, is the run's flight recorder: every pipeline
+	// stage (simulations, partition builds, cache probes, batch waves,
+	// surrogate screens) lands a typed span in a per-worker ring,
+	// exportable as a Chrome trace. Recording is allocation-free and
+	// purely observational — results are bit-identical with or without
+	// it.
+	Spans *span.Recorder
 
 	// Options are passed through to every profiling run.
 	Options profile.Options
@@ -181,5 +196,12 @@ func (r *Runner) run(space *Space, indices []int) ([]Result, error) {
 		return nil, err
 	}
 	defer s.Close()
-	return s.Eval(indices)
+	// Sweeps have no ancestry, but stamping a uniform origin keeps the
+	// journal's provenance surface total: dmreport -lineage works on
+	// exhaustive runs too.
+	origins := make([]*telemetry.Origin, len(indices))
+	for i := range origins {
+		origins[i] = &telemetry.Origin{Strategy: "sweep", Op: "sweep", Wave: 1}
+	}
+	return s.EvalAnnotated(indices, nil, origins)
 }

@@ -169,6 +169,7 @@ func (r *Runner) HillClimb(space *Space, weights []Weighted, budget int, seed ui
 	}
 	defer sess.Close()
 	b := newEvalBatcher(sess)
+	b.strategy = "hillclimb"
 	rng := stats.NewRNG(seed)
 	sur := r.newSurrogate(sess, weights)
 	sur.attach(b)
@@ -190,7 +191,9 @@ func (r *Runner) HillClimb(space *Space, weights []Weighted, budget int, seed ui
 	best := Result{Index: -1}
 	bestScore := math.Inf(1)
 	for b.len() < budget {
-		cur, err := b.getOne(rng.Intn(space.Size()))
+		start := rng.Intn(space.Size())
+		b.tag(start, "restart")
+		cur, err := b.getOne(start)
 		if err != nil {
 			return nil, err
 		}
@@ -211,6 +214,9 @@ func (r *Runner) HillClimb(space *Space, weights []Weighted, budget int, seed ui
 						end = len(ranked)
 					}
 					wave := b.limit(ranked[off:end], budget-b.len())
+					for _, n := range wave {
+						b.tag(n, "neighbor", cur.Index)
+					}
 					cands, err := b.getBatch(wave)
 					if err != nil {
 						return nil, err
@@ -230,6 +236,9 @@ func (r *Runner) HillClimb(space *Space, weights []Weighted, budget int, seed ui
 			} else {
 				ns := shuffled(rng, scratch.neighbors(space, cur.Index))
 				ns = b.limit(ns, budget-b.len())
+				for _, n := range ns {
+					b.tag(n, "neighbor", cur.Index)
+				}
 				cands, err := b.getBatch(ns)
 				if err != nil {
 					return nil, err
@@ -284,6 +293,7 @@ func (r *Runner) Anneal(space *Space, weights []Weighted, budget int, seed uint6
 	}
 	defer sess.Close()
 	b := newEvalBatcher(sess)
+	b.strategy = "anneal"
 	rng := stats.NewRNG(seed)
 	sur := r.newSurrogate(sess, weights)
 	sur.attach(b)
@@ -303,7 +313,9 @@ func (r *Runner) Anneal(space *Space, weights []Weighted, budget int, seed uint6
 	propRNG := rng.Split()
 	scratch := newNeighborScratch(space)
 
-	cur, err := b.getOne(rng.Intn(space.Size()))
+	startIdx := rng.Intn(space.Size())
+	b.tag(startIdx, "restart")
+	cur, err := b.getOne(startIdx)
 	if err != nil {
 		return nil, err
 	}
@@ -330,6 +342,9 @@ func (r *Runner) Anneal(space *Space, weights []Weighted, budget int, seed uint6
 			wave = sur.rank(proposals)
 		}
 		wave = b.limit(wave, budget-b.len())
+		for _, p := range wave {
+			b.tag(p, "propose", cur.Index)
+		}
 		cands, err := b.getBatch(wave)
 		if err != nil {
 			return nil, err
@@ -377,6 +392,7 @@ func (r *Runner) ScreenAndRefine(space *Space, objectives []string, screen, budg
 	}
 	defer sess.Close()
 	b := newEvalBatcher(sess)
+	b.strategy = "screen-refine"
 	rng := stats.NewRNG(seed)
 	sur := r.newSurrogate(sess, equalWeights(objectives))
 	sur.paretoRank()
@@ -401,6 +417,9 @@ func (r *Runner) ScreenAndRefine(space *Space, objectives []string, screen, budg
 		if nBoot > screen {
 			nBoot = screen
 		}
+		for _, idx := range perm[:nBoot] {
+			b.tag(idx, "screen")
+		}
 		if _, err := b.getBatch(perm[:nBoot]); err != nil {
 			return nil, err
 		}
@@ -408,10 +427,17 @@ func (r *Runner) ScreenAndRefine(space *Space, objectives []string, screen, budg
 		if len(pool) > sur.opts.PoolCap {
 			pool = pool[:sur.opts.PoolCap]
 		}
-		if _, err := b.getBatch(sur.screen(pool, screen-nBoot)); err != nil {
+		picks := sur.screen(pool, screen-nBoot)
+		for _, idx := range picks {
+			b.tag(idx, "screen")
+		}
+		if _, err := b.getBatch(picks); err != nil {
 			return nil, err
 		}
 	} else {
+		for _, idx := range perm[:screen] {
+			b.tag(idx, "screen")
+		}
 		if _, err := b.getBatch(perm[:screen]); err != nil {
 			return nil, err
 		}
@@ -444,6 +470,7 @@ func (r *Runner) ScreenAndRefine(space *Space, objectives []string, screen, budg
 					continue
 				}
 				inRing[n] = true
+				b.tag(n, "refine", f.Index)
 				ring = append(ring, n)
 			}
 		}

@@ -11,6 +11,7 @@ import (
 	"dmexplore/internal/alloc"
 	"dmexplore/internal/profile"
 	"dmexplore/internal/telemetry"
+	"dmexplore/internal/telemetry/span"
 	"dmexplore/internal/trace"
 )
 
@@ -71,12 +72,14 @@ type partitionEntry struct {
 // evalJob is one configuration handed to a session worker: where to write
 // the result and which batch to signal when done. predicted, when
 // non-nil, is the surrogate's forecast for this configuration, stamped
-// onto the result so the journal pairs it with the exact metrics.
+// onto the result so the journal pairs it with the exact metrics; origin
+// is its search provenance, stamped the same way.
 type evalJob struct {
 	idx       int
 	out       *Result
 	wg        *sync.WaitGroup
 	predicted map[string]float64
+	origin    *telemetry.Origin
 }
 
 // NewSession opens a persistent evaluation session for the space. Callers
@@ -157,6 +160,15 @@ func (s *EvalSession) Eval(indices []int) ([]Result, error) {
 // Observer sees it, so journals record what the surrogate forecast
 // alongside what the simulation measured.
 func (s *EvalSession) EvalPredicted(indices []int, preds []map[string]float64) ([]Result, error) {
+	return s.EvalAnnotated(indices, preds, nil)
+}
+
+// EvalAnnotated is EvalPredicted with per-index provenance attached:
+// origins, when non-nil, must have one entry per index (entries may be
+// nil); each is stamped onto the corresponding Result, journaled with
+// it, and reconstructed by `dmreport -lineage`. The wave itself lands
+// one batch-wave span on the coordinator ring.
+func (s *EvalSession) EvalAnnotated(indices []int, preds []map[string]float64, origins []*telemetry.Origin) ([]Result, error) {
 	if s.closed.Load() {
 		return nil, fmt.Errorf("core: eval on closed session")
 	}
@@ -165,6 +177,14 @@ func (s *EvalSession) EvalPredicted(indices []int, preds []map[string]float64) (
 	}
 	if preds != nil && len(preds) != len(indices) {
 		return nil, fmt.Errorf("core: %d predictions for %d indices", len(preds), len(indices))
+	}
+	if origins != nil && len(origins) != len(indices) {
+		return nil, fmt.Errorf("core: %d origins for %d indices", len(origins), len(indices))
+	}
+	coord := s.r.Spans.Coord()
+	var waveStart time.Time
+	if coord != nil {
+		waveStart = time.Now()
 	}
 	results := make([]Result, len(indices))
 	s.total.Add(int64(len(indices)))
@@ -175,9 +195,13 @@ func (s *EvalSession) EvalPredicted(indices []int, preds []map[string]float64) (
 		if preds != nil {
 			job.predicted = preds[i]
 		}
+		if origins != nil {
+			job.origin = origins[i]
+		}
 		s.jobs <- job
 	}
 	batch.Wait()
+	coord.Since(span.StageBatchWave, waveStart, int64(len(indices)))
 	for _, res := range results {
 		if res.Err != nil {
 			return results, fmt.Errorf("core: %w", res.Err)
@@ -203,9 +227,11 @@ func (s *EvalSession) worker(w int) {
 	shard := s.col.Shard(w)
 	rep := profile.NewReplayer()
 	rep.Shard = shard
+	rep.Spans = s.r.Spans.Ring(w)
 	for job := range s.jobs {
 		res := s.evalOne(job.idx, rep, shard)
 		res.Predicted = job.predicted
+		res.Origin = job.origin
 		*job.out = res
 		if s.r.Observer != nil {
 			s.r.Observer(res)
@@ -240,13 +266,22 @@ func (s *EvalSession) evalOne(idx int, rep *profile.Replayer, shard *telemetry.S
 		}
 		key := ""
 		if res.Metrics == nil && r.Cache != nil {
+			var probeStart time.Time
+			if rep.Spans != nil {
+				probeStart = time.Now()
+			}
 			key = CompiledCacheKey(id, s.ct, r.Hierarchy)
+			hit := int64(0)
 			if m, ok := r.Cache.Get(key); ok {
 				res.Metrics = m
 				res.CacheHit = true
+				hit = 1
 				shard.CacheHit()
 			} else {
 				shard.CacheMiss()
+			}
+			if rep.Spans != nil {
+				rep.Spans.Since(span.StageCacheProbe, probeStart, hit)
 			}
 		}
 		if res.Metrics == nil && s.incremental {

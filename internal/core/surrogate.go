@@ -5,10 +5,12 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"time"
 
 	"dmexplore/internal/profile"
 	"dmexplore/internal/stats"
 	"dmexplore/internal/telemetry"
+	"dmexplore/internal/telemetry/span"
 	"dmexplore/internal/trace"
 )
 
@@ -121,6 +123,8 @@ type surrogate struct {
 	weights []Weighted
 	opts    SurrogateOptions
 	col     *telemetry.Collector
+	spans   *span.Ring   // coordinator flight-recorder ring (nil-safe)
+	b       *evalBatcher // attached batcher, for lineage annotations
 
 	feats   []float64 // trace feature block, constant per run
 	axisOff []int     // one-hot offset of each axis within the digit block
@@ -166,6 +170,7 @@ func (r *Runner) newSurrogate(sess *EvalSession, weights []Weighted) *surrogate 
 		weights: weights,
 		opts:    opts,
 		col:     sess.col,
+		spans:   r.Spans.Coord(),
 		feats:   feats,
 		axisOff: axisOff,
 		dim:     1 + len(feats) + oneHot,
@@ -196,6 +201,7 @@ func (s *surrogate) attach(b *evalBatcher) {
 	if s == nil {
 		return
 	}
+	s.b = b
 	b.predict = s.predictAt
 	b.onResult = s.observe
 }
@@ -333,30 +339,44 @@ func (s *surrogate) paretoRank() {
 
 // rank returns cands ordered by predicted score ascending (ties broken
 // by index, so the order is total and deterministic). While the models
-// are warming up the input order is returned unchanged.
+// are warming up the input order is returned unchanged. Each ranking
+// lands one surrogate-screen span on the coordinator ring and stamps
+// every candidate's pending origin with its 1-based position.
 func (s *surrogate) rank(cands []int) []int {
 	if !s.ready() || len(cands) < 2 {
 		return cands
 	}
+	var start time.Time
+	if s.spans != nil {
+		start = time.Now()
+	}
+	var out []int
 	if s.pareto && len(s.weights) > 1 {
-		return s.rankPareto(cands)
+		out = s.rankPareto(cands)
+	} else {
+		scores := make(map[int]float64, len(cands))
+		for _, idx := range cands {
+			if _, ok := scores[idx]; !ok {
+				scores[idx] = s.score(idx)
+			}
+		}
+		s.predictions += uint64(len(scores))
+		s.col.AddSurrogatePredictions(uint64(len(scores)))
+		out = append([]int(nil), cands...)
+		sort.SliceStable(out, func(i, j int) bool {
+			si, sj := scores[out[i]], scores[out[j]]
+			if si != sj {
+				return si < sj
+			}
+			return out[i] < out[j]
+		})
 	}
-	scores := make(map[int]float64, len(cands))
-	for _, idx := range cands {
-		if _, ok := scores[idx]; !ok {
-			scores[idx] = s.score(idx)
+	s.spans.Since(span.StageSurrogateScreen, start, int64(len(cands)))
+	if s.b != nil {
+		for i, idx := range out {
+			s.b.noteRank(idx, i+1)
 		}
 	}
-	s.predictions += uint64(len(scores))
-	s.col.AddSurrogatePredictions(uint64(len(scores)))
-	out := append([]int(nil), cands...)
-	sort.SliceStable(out, func(i, j int) bool {
-		si, sj := scores[out[i]], scores[out[j]]
-		if si != sj {
-			return si < sj
-		}
-		return out[i] < out[j]
-	})
 	return out
 }
 
@@ -526,6 +546,11 @@ func (s *surrogate) screen(cands []int, k int) []int {
 	ranked := s.rank(cands)
 	nExplore := int(s.opts.Epsilon * float64(k))
 	picked := append([]int(nil), ranked[:k-nExplore]...)
+	if s.b != nil {
+		for _, idx := range picked {
+			s.b.noteAdmit(idx, "score")
+		}
+	}
 	if nExplore > 0 {
 		rest := append([]int(nil), ranked[k-nExplore:]...)
 		lev := make(map[int]float64, len(rest))
@@ -540,6 +565,11 @@ func (s *surrogate) screen(cands []int, k int) []int {
 			return rest[i] < rest[j]
 		})
 		picked = append(picked, rest[:nExplore]...)
+		if s.b != nil {
+			for _, idx := range rest[:nExplore] {
+				s.b.noteAdmit(idx, "explore")
+			}
+		}
 	}
 	dropped := uint64(len(cands) - len(picked))
 	s.screenedOut += dropped

@@ -7,6 +7,7 @@ import (
 	"dmexplore/internal/alloc"
 	"dmexplore/internal/memhier"
 	"dmexplore/internal/simheap"
+	"dmexplore/internal/telemetry/span"
 	"dmexplore/internal/trace"
 )
 
@@ -154,7 +155,7 @@ func (p *Partition) SkippedEvents() int { return p.events - len(p.ops) }
 // fast-path cost model only (the equivalent of Run with zero Options).
 func (r *Replayer) Partition(ct *trace.Compiled, cfg alloc.Config, h *memhier.Hierarchy) (*Partition, error) {
 	var start time.Time
-	if r.Shard != nil {
+	if r.Shard != nil || r.Spans != nil {
 		start = time.Now()
 	}
 	genLayer, ok := h.ByName(cfg.General.Layer)
@@ -229,6 +230,7 @@ func (r *Replayer) Partition(ct *trace.Compiled, cfg alloc.Config, h *memhier.Hi
 	if r.Shard != nil {
 		r.Shard.ObservePartitionBuild(time.Since(start), ct.Len())
 	}
+	r.Spans.Since(span.StagePartitionBuild, start, int64(ct.Len()))
 	return p, nil
 }
 
@@ -243,7 +245,7 @@ func (r *Replayer) Partition(ct *trace.Compiled, cfg alloc.Config, h *memhier.Hi
 // to a full replay.
 func (r *Replayer) RunPartial(ct *trace.Compiled, part *Partition, cfg alloc.Config, h *memhier.Hierarchy) (*Metrics, bool) {
 	var start time.Time
-	if r.Shard != nil {
+	if r.Shard != nil || r.Spans != nil {
 		start = time.Now()
 	}
 	ctx := simheap.NewContext(h)
@@ -319,5 +321,6 @@ func (r *Replayer) RunPartial(ct *trace.Compiled, part *Partition, cfg alloc.Con
 	if r.Shard != nil {
 		r.Shard.ObservePartialSim(time.Since(start), len(part.ops), part.SkippedEvents())
 	}
+	r.Spans.Since(span.StagePartialSim, start, int64(len(part.ops)))
 	return m, true
 }

@@ -9,6 +9,7 @@ import (
 	"dmexplore/internal/memhier"
 	"dmexplore/internal/simheap"
 	"dmexplore/internal/telemetry"
+	"dmexplore/internal/telemetry/span"
 	"dmexplore/internal/trace"
 )
 
@@ -23,6 +24,13 @@ type Replayer struct {
 	// adds outside the replay loop, so the zero-alloc guarantee holds
 	// with telemetry enabled.
 	Shard *telemetry.Shard
+
+	// Spans, when non-nil, is this worker's flight-recorder ring: every
+	// full run, partial run and partition build lands one typed span.
+	// Recording shares the Shard's timing reads and is itself
+	// allocation-free, so the zero-alloc guarantee holds with the
+	// recorder attached too.
+	Spans *span.Ring
 
 	ptrs []alloc.Ptr // dense ID -> payload pointer
 	live []bool      // dense ID -> allocation currently live (not failed)
@@ -100,7 +108,7 @@ func applyOptions(ctx *simheap.Context, h *memhier.Hierarchy, opts Options) (*lo
 // reset, not reallocated, between runs.
 func (r *Replayer) Run(ct *trace.Compiled, cfg alloc.Config, h *memhier.Hierarchy, opts Options) (*Metrics, error) {
 	var start time.Time
-	if r.Shard != nil {
+	if r.Shard != nil || r.Spans != nil {
 		start = time.Now()
 	}
 	ctx := simheap.NewContext(h)
@@ -148,6 +156,7 @@ func (r *Replayer) Run(ct *trace.Compiled, cfg alloc.Config, h *memhier.Hierarch
 	if r.Shard != nil {
 		r.Shard.ObserveSim(time.Since(start), ct.Len())
 	}
+	r.Spans.Since(span.StageFullSim, start, int64(ct.Len()))
 	return m, nil
 }
 

@@ -11,6 +11,7 @@ import (
 	"dmexplore/internal/memhier"
 	"dmexplore/internal/simheap"
 	"dmexplore/internal/telemetry"
+	"dmexplore/internal/telemetry/span"
 	"dmexplore/internal/trace"
 	"dmexplore/internal/workload"
 )
@@ -355,5 +356,60 @@ func TestReplayTelemetryZeroAllocs(t *testing.T) {
 	}
 	if s := col.Snapshot(); s.Sims == 0 || s.Events == 0 {
 		t.Fatalf("telemetry recorded nothing: %+v", s)
+	}
+}
+
+// TestReplaySpansZeroAllocs proves the flight recorder preserves the
+// replay hot path's zero-allocation guarantee: a full Run with both a
+// telemetry shard and a span ring attached performs no heap allocations
+// in steady state beyond the Metrics result itself — so the per-event
+// loop and the span Record stay allocation-free.
+func TestReplaySpansZeroAllocs(t *testing.T) {
+	p := workload.DefaultEasyportParams()
+	p.Packets = 200
+	tr, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := trace.Compile(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := memhier.EmbeddedSoC()
+	col := telemetry.NewCollector(1)
+	rec := span.NewRecorder(1, 1024)
+	for _, cfg := range presetConfigs() {
+		ctx := simheap.NewContext(h)
+		a, err := cfg.Build(ctx)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Label, err)
+		}
+		r := NewReplayer()
+		r.Shard = col.Shard(0)
+		r.Spans = rec.Ring(0)
+		r.reset(ct.NumIDs)
+		var warm Metrics
+		if err := r.replay(ct, a, ctx, &warm, 0, nil); err != nil {
+			t.Fatalf("%s: warm replay: %v", cfg.Label, err)
+		}
+		avg := testing.AllocsPerRun(5, func() {
+			start := time.Now()
+			r.reset(ct.NumIDs)
+			var m Metrics
+			if err := r.replay(ct, a, ctx, &m, 0, nil); err != nil {
+				t.Errorf("%s: replay: %v", cfg.Label, err)
+			}
+			r.Shard.ObserveSim(time.Since(start), ct.Len())
+			r.Spans.Since(span.StageFullSim, start, int64(ct.Len()))
+		})
+		if avg != 0 {
+			t.Errorf("%s: span-instrumented replay allocates %.1f times per run, want 0", cfg.Label, avg)
+		}
+	}
+	if n := rec.Ring(0).Len(); n == 0 {
+		t.Fatal("span ring recorded nothing")
+	}
+	if snap := rec.Snapshot(); snap[span.StageFullSim].Count == 0 {
+		t.Fatalf("full-sim stage empty: %+v", snap)
 	}
 }

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"net"
@@ -9,6 +10,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dmexplore/internal/telemetry/span"
 )
 
 // The expvar variable is published once per process but must follow the
@@ -43,19 +46,41 @@ type Server struct {
 	done chan struct{}
 }
 
+// CloseTimeout bounds how long Server.Close waits for in-flight scrapes
+// before forcing the listener shut.
+const CloseTimeout = 5 * time.Second
+
 // Serve starts an HTTP listener at addr exposing:
 //
+//	/metrics      — Prometheus text exposition of the live snapshot,
+//	                plus per-stage histograms when spans is non-nil
+//	/healthz      — liveness probe, always "ok"
 //	/debug/vars   — expvar, including the live telemetry snapshot
 //	/debug/pprof/ — net/http/pprof profiles for diagnosing long sweeps
 //
-// It returns once the listener is bound; the server runs until Close.
-func Serve(addr string, col *Collector) (*Server, error) {
+// spans may be nil; /metrics then omits the stage histograms. It
+// returns once the listener is bound; the server runs until Close.
+func Serve(addr string, col *Collector, spans *span.Recorder) (*Server, error) {
 	publishExpvar(col)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
 	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		var stages []span.StageSnapshot
+		if spans != nil {
+			stages = spans.Snapshot()
+		}
+		// A scrape races the run by design: the snapshot reads atomic
+		// aggregates, never the raw rings.
+		_ = WritePrometheus(w, col.Snapshot(), stages)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -67,7 +92,7 @@ func Serve(addr string, col *Collector) (*Server, error) {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprintf(w, "dmexplore telemetry\n\n/debug/vars\n/debug/pprof/\n")
+		fmt.Fprintf(w, "dmexplore telemetry\n\n/metrics\n/healthz\n/debug/vars\n/debug/pprof/\n")
 	})
 	s := &Server{
 		Addr: ln.Addr().String(),
@@ -83,9 +108,17 @@ func Serve(addr string, col *Collector) (*Server, error) {
 	return s, nil
 }
 
-// Close stops the listener and waits for the serve loop to exit.
+// Close stops accepting connections, lets in-flight scrapes finish for
+// up to CloseTimeout, then forces the rest shut and waits for the serve
+// loop to exit.
 func (s *Server) Close() error {
-	err := s.srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), CloseTimeout)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		// Deadline hit with scrapes still open: sever them.
+		err = s.srv.Close()
+	}
 	<-s.done
 	return err
 }

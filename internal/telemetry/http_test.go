@@ -7,6 +7,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"dmexplore/internal/telemetry/span"
 )
 
 func TestServeExpvarAndPprof(t *testing.T) {
@@ -14,7 +16,7 @@ func TestServeExpvarAndPprof(t *testing.T) {
 	col.Shard(0).ObserveSim(time.Millisecond, 500)
 	col.Shard(1).CacheHit()
 
-	srv, err := Serve("127.0.0.1:0", col)
+	srv, err := Serve("127.0.0.1:0", col, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +65,7 @@ func TestServeExpvarAndPprof(t *testing.T) {
 	// A second Serve (fresh collector) must re-point the published var,
 	// not panic on duplicate expvar registration.
 	col2 := NewCollector(1)
-	srv2, err := Serve("127.0.0.1:0", col2)
+	srv2, err := Serve("127.0.0.1:0", col2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,5 +81,124 @@ func TestServeExpvarAndPprof(t *testing.T) {
 	}
 	if snap2.Sims != 0 {
 		t.Fatalf("published var not re-pointed at new collector: %+v", snap2)
+	}
+}
+
+func TestServeMetricsAndHealthz(t *testing.T) {
+	col := NewCollector(2)
+	col.Shard(0).ObserveSim(time.Millisecond, 500)
+	col.Shard(1).CacheHit()
+	rec := span.NewRecorder(2, 64)
+	rec.Ring(0).Record(span.StageFullSim, 0, time.Millisecond, 500)
+
+	srv, err := Serve("127.0.0.1:0", col, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	for _, want := range []string{
+		"dmexplore_sims_total 1",
+		"dmexplore_cache_hits_total 1",
+		"dmexplore_events_replayed_total 500",
+		`dmexplore_stage_duration_seconds_count{stage="full-sim"} 1`,
+	} {
+		if !strings.Contains(string(body), want+"\n") {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	hresp, err := http.Get("http://" + srv.Addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hbody, _ := io.ReadAll(hresp.Body)
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK || strings.TrimSpace(string(hbody)) != "ok" {
+		t.Fatalf("/healthz: %s %q", hresp.Status, hbody)
+	}
+}
+
+// TestCloseDrainsInFlightScrapeAndReleasesPort proves the graceful
+// shutdown contract: a scrape in flight when Close is called still
+// completes, and the port is free for rebinding once Close returns.
+func TestCloseDrainsInFlightScrapeAndReleasesPort(t *testing.T) {
+	col := NewCollector(1)
+	srv, err := Serve("127.0.0.1:0", col, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The mux is private, so the slow in-flight request is a real one:
+	// /debug/pprof/trace blocks for its ?seconds= duration.
+	type result struct {
+		status int
+		body   string
+		err    error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + srv.Addr + "/debug/pprof/trace?seconds=1")
+		if err != nil {
+			got <- result{err: err}
+			return
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		got <- result{status: resp.StatusCode, body: string(body)}
+	}()
+	// Wait until the request is definitely in flight.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		resp, err := http.Get("http://" + srv.Addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never came up")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond)
+
+	closed := make(chan error, 1)
+	go func() { closed <- srv.Close() }()
+
+	select {
+	case r := <-got:
+		if r.err != nil {
+			t.Fatalf("in-flight scrape severed: %v", r.err)
+		}
+	case <-time.After(CloseTimeout + 2*time.Second):
+		t.Fatal("in-flight scrape never completed")
+	}
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(CloseTimeout + 2*time.Second):
+		t.Fatal("Close never returned")
+	}
+
+	// The exact port must be rebindable immediately.
+	srv2, err := Serve(srv.Addr, col, nil)
+	if err != nil {
+		t.Fatalf("port not released: %v", err)
+	}
+	if err := srv2.Close(); err != nil {
+		t.Fatal(err)
 	}
 }

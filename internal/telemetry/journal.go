@@ -8,6 +8,8 @@ import (
 	"os"
 	"strings"
 	"sync"
+
+	"dmexplore/internal/telemetry/span"
 )
 
 // Record is one journal line: the outcome of one configuration in a
@@ -34,6 +36,11 @@ type Record struct {
 	// the accuracy digest (Spearman rank correlation, MAE) is computed
 	// over. Only surrogate-assisted runs populate it.
 	Predicted map[string]float64 `json:"predicted,omitempty"`
+
+	// Origin is the configuration's search provenance (strategy, wave,
+	// operator, parents, surrogate decision) — present on the record of
+	// its first exact evaluation. See Origin and `dmreport -lineage`.
+	Origin *Origin `json:"origin,omitempty"`
 
 	// Headline metrics (omitted on error).
 	Accesses       uint64  `json:"accesses,omitempty"`
@@ -88,6 +95,15 @@ func (j *Journal) Len() int {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.n
+}
+
+// Flush pushes buffered records to the underlying writer without
+// closing it — the signal-driven finalize path, where workers may still
+// be appending and the process is about to exit.
+func (j *Journal) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.bw.Flush()
 }
 
 // Close flushes buffered records and closes the underlying file, if any.
@@ -197,6 +213,16 @@ type RunSummary struct {
 	ElapsedSec     float64       `json:"elapsed_sec"`
 	Telemetry      Snapshot      `json:"telemetry"`
 	Cache          *CacheSummary `json:"cache,omitempty"`
+
+	// Stages is the flight recorder's per-stage time breakdown (span
+	// counts and summed seconds per pipeline stage), present when the
+	// run recorded spans.
+	Stages []span.StageSnapshot `json:"stages,omitempty"`
+
+	// Interrupted marks a summary written by the SIGINT/SIGTERM
+	// finalize path: the run was killed mid-sweep and Configurations
+	// counts completions, not the plan.
+	Interrupted bool `json:"interrupted,omitempty"`
 }
 
 // WriteRunSummary writes the summary as indented JSON at path.

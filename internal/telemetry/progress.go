@@ -60,8 +60,7 @@ func (p *Progress) Update(done, total int) {
 	if rate := float64(done) / elapsed.Seconds(); rate > 0 && elapsed > 0 {
 		line += fmt.Sprintf("  %.0f cfg/s", rate)
 		if !final {
-			eta := time.Duration(float64(total-done)/rate*1e9) * time.Nanosecond
-			line += fmt.Sprintf("  ETA %s", formatETA(eta))
+			line += fmt.Sprintf("  ETA %s", formatETA(etaFor(total-done, rate)))
 		}
 	}
 	if p.col != nil {
@@ -81,11 +80,32 @@ func (p *Progress) Update(done, total int) {
 	p.mu.Unlock()
 }
 
+// maxETA caps the printed estimate. The first ticks of a slow run see a
+// near-zero rate (one config done after many seconds), projecting
+// absurd horizons — or, divided far enough, overflowing the int64
+// Duration into garbage. Past this cap the estimate carries no
+// information and is suppressed.
+const maxETA = 99 * time.Hour
+
+// etaFor projects the remaining time at the observed rate, or -1 when
+// the projection is meaningless (rate ~0, overflow, or beyond maxETA).
+func etaFor(remaining int, rate float64) time.Duration {
+	if remaining <= 0 {
+		return 0
+	}
+	secs := float64(remaining) / rate
+	if !(secs >= 0) || secs > maxETA.Seconds() {
+		return -1
+	}
+	return time.Duration(secs * float64(time.Second))
+}
+
 // formatETA renders a duration as mm:ss (or h:mm:ss beyond an hour),
-// rounded up so the ETA never reads 0:00 while work remains.
+// rounded up so the ETA never reads 0:00 while work remains; negative
+// durations mean "unknown" and render as --:--.
 func formatETA(d time.Duration) string {
 	if d < 0 {
-		d = 0
+		return "--:--"
 	}
 	secs := int((d + time.Second - 1) / time.Second)
 	if secs >= 3600 {

@@ -67,12 +67,47 @@ func TestProgressConcurrentUpdates(t *testing.T) {
 	}
 }
 
+// TestProgressSuppressesBogusETA is the regression test for the
+// early-run ETA: one configuration done after an hour projects a
+// centuries-long (or overflowed) estimate, which must render as
+// unknown, not as a number.
+func TestProgressSuppressesBogusETA(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, nil, time.Nanosecond)
+	p.start = p.start.Add(-time.Hour)
+	p.Update(1, 1000000)
+	out := buf.String()
+	if !strings.Contains(out, "ETA --:--") {
+		t.Fatalf("bogus ETA not suppressed: %q", out)
+	}
+}
+
+func TestEtaFor(t *testing.T) {
+	cases := []struct {
+		remaining int
+		rate      float64
+		want      time.Duration
+	}{
+		{0, 10, 0},
+		{-5, 10, 0},
+		{100, 10, 10 * time.Second},
+		{999999, 1.0 / 3600, -1}, // ~115 years: suppressed
+		{1, 1e-300, -1},          // would overflow time.Duration
+		{3600, 1, time.Hour},     // exactly renderable
+	}
+	for _, c := range cases {
+		if got := etaFor(c.remaining, c.rate); got != c.want {
+			t.Errorf("etaFor(%d, %g) = %v, want %v", c.remaining, c.rate, got, c.want)
+		}
+	}
+}
+
 func TestFormatETA(t *testing.T) {
 	cases := []struct {
 		d    time.Duration
 		want string
 	}{
-		{-time.Second, "0:00"},
+		{-time.Second, "--:--"}, // the etaFor "unknown" sentinel
 		{400 * time.Millisecond, "0:01"}, // rounds up, never 0:00 mid-run
 		{59 * time.Second, "0:59"},
 		{90 * time.Second, "1:30"},
