@@ -60,6 +60,8 @@ func run(args []string, out io.Writer) error {
 		cachePath     = fs.String("cache", "", "results cache file: resume interrupted sweeps, skip repeated configurations")
 		tracePath     = fs.String("trace", "", "replay a trace file instead of generating the workload")
 		incremental   = fs.Bool("incremental", false, "partial re-evaluation: configurations sharing a fixed-pool signature replay only the ops that reach the general pool (bit-identical results)")
+		partitionMB   = fs.Int("partition-cache-mb", 256, "incremental partition-cache budget in MiB (0 = unbounded)")
+		poolMemoMB    = fs.Int("pool-memo-mb", 128, "incremental pool-run memo budget in MiB (0 = unbounded)")
 		surrogate     = fs.Bool("surrogate", false, "surrogate-assisted screening: rank candidates with online per-objective models so guided strategies spend the budget on the most promising simulations")
 		surrogateWarm = fs.String("surrogate-warm", "", "warm-start the surrogate from a prior journal.jsonl (same space and workload)")
 		quiet         = fs.Bool("quiet", false, "suppress progress output")
@@ -165,7 +167,9 @@ func run(args []string, out io.Writer) error {
 		spans.Coord().Since(span.StageCompile, compileStart, int64(tr.Len()))
 	}
 	col := telemetry.NewCollector(workerN)
-	runner := &core.Runner{Hierarchy: hier, Trace: tr, Compiled: ct, Workers: *workers, Telemetry: col, Incremental: *incremental, EvalLatency: *evalLatency, Spans: spans}
+	runner := &core.Runner{Hierarchy: hier, Trace: tr, Compiled: ct, Workers: *workers, Telemetry: col, Incremental: *incremental, EvalLatency: *evalLatency, Spans: spans,
+		PartitionBudgetBytes: cacheBudgetBytes(*partitionMB),
+		PoolMemoBudgetBytes:  cacheBudgetBytes(*poolMemoMB)}
 	var surReport *core.SurrogateReport
 	if *surrogate {
 		surReport = &core.SurrogateReport{}
@@ -492,6 +496,16 @@ func activeStages(rec *span.Recorder) []span.StageSnapshot {
 		}
 	}
 	return out
+}
+
+// cacheBudgetBytes maps a MiB flag value onto the Runner budget knobs:
+// 0 on the command line means unbounded (negative for the Runner, whose
+// own zero means "use the default").
+func cacheBudgetBytes(mb int) int64 {
+	if mb <= 0 {
+		return -1
+	}
+	return int64(mb) << 20
 }
 
 func pickHierarchy(name string) (*memhier.Hierarchy, error) {

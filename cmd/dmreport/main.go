@@ -314,6 +314,9 @@ func summarizeJournal(out io.Writer, path string) error {
 	d := telemetry.Digest(recs)
 	fmt.Fprintf(out, "journal    %s: %d configurations\n", path, d.Records)
 	fmt.Fprintf(out, "  cache    %d hits, %d memo hits\n", d.CacheHits, d.MemoHits)
+	fmt.Fprintf(out, "  eval     %d composed (memo), %d partial, %d full\n",
+		d.Composed, d.Incremental-d.Composed,
+		d.Records-d.Incremental-d.CacheHits-d.MemoHits-d.Errors)
 	fmt.Fprintf(out, "  time     %.2fs total worker time, slowest #%d at %.2fms\n",
 		d.TotalSec, d.MaxIndex, d.MaxMS)
 	fmt.Fprintf(out, "  outcome  %d errors, %d infeasible\n", d.Errors, d.Infeasible)

@@ -103,6 +103,8 @@ func TestJournalSummary(t *testing.T) {
 	j := telemetry.NewJournal(f)
 	j.Record(telemetry.Record{Index: 0, Labels: []string{"a", "b"}, DurationMS: 1.5, Accesses: 10})
 	j.Record(telemetry.Record{Index: 3, Labels: []string{"c", "d"}, DurationMS: 4.5, CacheHit: true})
+	j.Record(telemetry.Record{Index: 4, DurationMS: 0.8, Accesses: 11, Incremental: true, EventsSkipped: 900})
+	j.Record(telemetry.Record{Index: 5, DurationMS: 0.1, Accesses: 12, Incremental: true, Composed: true, EventsSkipped: 1200})
 	j.Record(telemetry.Record{Index: 7, Error: "configuration 7 [x y]: boom"})
 	if err := j.Close(); err != nil {
 		t.Fatal(err)
@@ -113,7 +115,8 @@ func TestJournalSummary(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := out.String()
-	for _, want := range []string{"3 configurations", "1 hits", "1 errors", "slowest #3", "boom"} {
+	for _, want := range []string{"5 configurations", "1 hits", "1 errors", "slowest #3", "boom",
+		"1 composed (memo), 1 partial, 1 full"} {
 		if !strings.Contains(s, want) {
 			t.Errorf("journal summary lacks %q:\n%s", want, s)
 		}

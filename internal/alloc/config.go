@@ -269,8 +269,33 @@ func (c Config) BuildGeneral(ctx *simheap.Context) (FallbackPool, error) {
 // stable across runs; the explorer uses it as the configuration key.
 func (c Config) ID() string {
 	var b strings.Builder
+	c.writeFixedID(&b)
+	c.General.writeID(&b)
+	return b.String()
+}
+
+// FixedID returns the canonical identifier of the fixed-pool half of the
+// parameter vector (the routing-determining axes), a prefix of ID().
+func (c Config) FixedID() string {
+	var b strings.Builder
+	c.writeFixedID(&b)
+	return b.String()
+}
+
+// ID returns the canonical identifier of the general-pool parameter
+// vector — the suffix of Config.ID past the fixed pools. The incremental
+// evaluator keys shared standalone general-pool runs by it: two
+// configurations with equal GeneralConfig IDs build byte-for-byte
+// identical fallback pools.
+func (g GeneralConfig) ID() string {
+	var b strings.Builder
+	g.writeID(&b)
+	return b.String()
+}
+
+func (c Config) writeFixedID(b *strings.Builder) {
 	for _, f := range c.Fixed {
-		fmt.Fprintf(&b, "F%d@%s[%d-%d]%s%s%s×%d/%d",
+		fmt.Fprintf(b, "F%d@%s[%d-%d]%s%s%s×%d/%d",
 			f.SlotBytes, f.Layer, f.MatchLo, f.MatchHi,
 			f.Order, f.Links, f.Growth, f.ChunkSlots, f.MaxBytes)
 		if f.Reclaim {
@@ -278,13 +303,14 @@ func (c Config) ID() string {
 		}
 		b.WriteString("|")
 	}
-	g := c.General
-	fmt.Fprintf(&b, "G@%s:%s:%s:%s:%s:%s%d:%s%d:%s:%s:%d/%d",
+}
+
+func (g GeneralConfig) writeID(b *strings.Builder) {
+	fmt.Fprintf(b, "G@%s:%s:%s:%s:%s:%s%d:%s%d:%s:%s:%d/%d",
 		g.Layer, g.Classes, g.Fit, g.Order, g.Links,
 		g.Split, g.SplitThreshold, g.Coalesce, g.CoalesceEvery,
 		g.Headers, g.Growth, g.ChunkBytes, g.MaxBytes)
 	if g.RoundToClass {
 		b.WriteString(":round")
 	}
-	return b.String()
 }

@@ -2,9 +2,12 @@ package core
 
 import (
 	"math"
+	"strings"
 	"testing"
+	"time"
 
 	"dmexplore/internal/memhier"
+	"dmexplore/internal/stats"
 	"dmexplore/internal/trace"
 	"dmexplore/internal/workload"
 )
@@ -150,6 +153,234 @@ func TestIncrementalEquivalenceAcrossStrategies(t *testing.T) {
 		t.Fatal("incremental runs never took the partial path")
 	}
 	t.Logf("partial path served %d evaluations across strategies and seeds", servedPartial)
+}
+
+// countComposed returns how many results the pool-run memo composed
+// without any simulation.
+func countComposed(rs []Result) int {
+	n := 0
+	for _, r := range rs {
+		if r.Composed {
+			n++
+		}
+	}
+	return n
+}
+
+// vtcRunner returns a Runner over a scaled-down VTC trace — the second
+// workload the multi-axis decomposition property is seeded across.
+func vtcRunner(t *testing.T, incremental bool) *Runner {
+	t.Helper()
+	p := workload.DefaultVTCParams()
+	p.Tiles = 24
+	tr, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := trace.Compile(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Runner{
+		Hierarchy:   memhier.EmbeddedSoC(),
+		Trace:       tr,
+		Compiled:    ct,
+		Workers:     4,
+		Incremental: incremental,
+	}
+}
+
+// TestMultiAxisDecompositionBitIdentical is the decomposition property
+// test: sweeping a whole space visits every multi-axis delta between
+// configurations — including the decomposable ones (a fixed-axis move
+// crossed with a general-axis move, the NSGA-II crossover shape) that
+// the pool-run memo turns into pure compositions. Every metric must stay
+// bit-identical to the full-replay sweep (EnergyNJ compared as float
+// bits), and both seeded workloads must actually exercise the composed
+// path.
+func TestMultiAxisDecompositionBitIdentical(t *testing.T) {
+	cases := []struct {
+		name   string
+		space  *Space
+		runner func(*testing.T, bool) *Runner
+	}{
+		{"easyport", EasyportSpace(), easyportRunner},
+		{"vtc", VTCSpace(), vtcRunner},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			full, err := tc.runner(t, false).Explore(tc.space)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inc, err := tc.runner(t, true).Explore(tc.space)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertResultsIdentical(t, tc.name, full, inc)
+			composed := countComposed(inc)
+			if composed == 0 {
+				t.Fatal("sweep never composed an evaluation from the pool-run memo")
+			}
+			if n := countComposed(full); n != 0 {
+				t.Errorf("full sweep marked %d results composed", n)
+			}
+			t.Logf("%s: %d/%d composed, %d partial", tc.name, composed,
+				len(inc), countIncremental(inc)-composed)
+		})
+	}
+}
+
+// TestIncrementalEquivalenceAcrossWorkerCounts locks the concurrency
+// contract: hill-climb and NSGA-II walks stay bit-identical to the full
+// replay path at every worker count. Which evaluation is composed vs
+// partial may vary with scheduling (whoever claims a memo entry first
+// builds it), but metrics — and therefore the walk — may not.
+func TestIncrementalEquivalenceAcrossWorkerCounts(t *testing.T) {
+	space := EasyportSpace()
+	weights := []Weighted{{Objective: "accesses", Weight: 1}, {Objective: "footprint", Weight: 1}}
+	objectives := []string{"accesses", "footprint"}
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		runner := func(incremental bool) *Runner {
+			r := easyportRunner(t, incremental)
+			r.Workers = workers
+			return r
+		}
+		hcFull, err := runner(false).HillClimb(space, weights, 48, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hcInc, err := runner(true).HillClimb(space, weights, 48, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertResultsIdentical(t, "hillclimb",
+			append([]Result{hcFull.Best}, hcFull.Evaluated...),
+			append([]Result{hcInc.Best}, hcInc.Evaluated...))
+
+		evFull, err := runner(false).Evolve(space, objectives, EvolveOptions{Population: 8, Budget: 40, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		evInc, err := runner(true).Evolve(space, objectives, EvolveOptions{Population: 8, Budget: 40, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertResultsIdentical(t, "evolve", evFull, evInc)
+	}
+}
+
+// composablePair finds two configurations in the easyport space that
+// share their general-pool vector but place the dedicated packet pool on
+// different layers ("d74" vs "d74@sp") — routing-identical fixed
+// signatures, so the second evaluation composes from the first's
+// memoized pool run.
+func composablePair(t *testing.T, space *Space) (int, int) {
+	t.Helper()
+	d74, sp := -1, -1
+	for i := 0; i < space.Size(); i++ {
+		_, labels, err := space.Config(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rest := strings.Join(labels[1:], " ")
+		if rest != "single first lifo never never chunk8k" {
+			continue
+		}
+		switch labels[0] {
+		case "d74":
+			d74 = i
+		case "d74@sp":
+			sp = i
+		}
+	}
+	if d74 < 0 || sp < 0 {
+		t.Fatal("easyport space lost its d74/d74@sp pools options")
+	}
+	return d74, sp
+}
+
+// TestEvalLatencyComposedChargesCompositionOnly is the latency-model
+// regression test: under Runner.EvalLatency, a partial evaluation
+// charges latency pro-rata to the replayed ops, and a composed (memo
+// hit) evaluation charges only its own composition cost — no modelled
+// backend time at all.
+func TestEvalLatencyComposedChargesCompositionOnly(t *testing.T) {
+	const latency = 80 * time.Millisecond
+	space := EasyportSpace()
+	d74, sp := composablePair(t, space)
+
+	r := easyportRunner(t, true)
+	r.Workers = 1
+	r.EvalLatency = latency
+	sess, err := r.NewSession(space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	first, err := sess.Eval([]int{d74})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first[0].Incremental || first[0].Composed {
+		t.Fatalf("first eval not a built partial: %+v", first[0])
+	}
+	if first[0].Duration >= latency {
+		t.Errorf("partial eval charged %v, want pro-rata under the full %v",
+			first[0].Duration, latency)
+	}
+
+	second, err := sess.Eval([]int{sp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second[0].Composed {
+		t.Fatalf("second eval not composed from the memo: %+v", second[0])
+	}
+	// The composition is O(ops) arithmetic; anything near the modelled
+	// latency means the backend was charged.
+	if second[0].Duration >= latency/4 {
+		t.Errorf("composed eval took %v, want composition cost only (well under %v)",
+			second[0].Duration, latency)
+	}
+}
+
+// TestSessionCacheEviction bounds the incremental caches with budgets
+// small enough to churn: the sweep must stay bit-identical to the full
+// path (an evicted partition or pool run rebuilds, never corrupts) while
+// the stats report real evictions and a bounded resident set.
+func TestSessionCacheEviction(t *testing.T) {
+	space := EasyportSpace()
+	full, err := easyportRunner(t, false).Sample(space, 64, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := easyportRunner(t, true)
+	r.PartitionBudgetBytes = 2 * 1024 // holds roughly one easyport partition
+	r.PoolMemoBudgetBytes = 2 * 1024
+	sess, err := r.NewSession(space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	indices := stats.NewRNG(5).Perm(space.Size())[:64] // Sample's draw, same seed
+	inc, err := sess.Eval(indices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsIdentical(t, "evicting-sample", full, inc)
+
+	st := sess.IncrementalCacheStats()
+	if st.PartitionEvictions == 0 && st.PoolRunEvictions == 0 {
+		t.Fatalf("tiny budgets evicted nothing: %+v", st)
+	}
+	if st.PartitionBytes > 64*1024 || st.PoolRunBytes > 64*1024 {
+		t.Fatalf("resident bytes unbounded under budget: %+v", st)
+	}
+	t.Logf("stats after churn: %+v", st)
 }
 
 // TestIncrementalDisabledUnderRichOptions: footprint sampling (and any

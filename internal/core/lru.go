@@ -1,0 +1,132 @@
+package core
+
+// lruCache is a size-aware least-recently-used cache bounding the
+// session's partition cache and pool-run memo: entries carry a byte
+// cost, a budget caps the total, and inserts evict from the cold end
+// until the total fits. Eviction only drops the cache's reference —
+// workers holding a pointer to an evicted entry keep using it safely
+// (partitions and pool runs are immutable); a later lookup simply
+// rebuilds. Not safe for concurrent use; callers hold their own mutex.
+type lruCache[V any] struct {
+	budget    int64 // max total bytes; <= 0 means unbounded
+	size      int64
+	evictions uint64
+
+	entries    map[string]*lruNode[V]
+	head, tail *lruNode[V] // head = most recently used
+}
+
+// lruNode is one resident entry in the cache's recency list.
+type lruNode[V any] struct {
+	key        string
+	val        V
+	bytes      int64
+	prev, next *lruNode[V]
+}
+
+// newLRUCache returns a cache bounded to budget bytes (<= 0: unbounded).
+func newLRUCache[V any](budget int64) *lruCache[V] {
+	return &lruCache[V]{budget: budget, entries: make(map[string]*lruNode[V])}
+}
+
+// get returns the entry for key, marking it most recently used.
+func (c *lruCache[V]) get(key string) (V, bool) {
+	n, ok := c.entries[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	c.touch(n)
+	return n.val, true
+}
+
+// put inserts (or replaces) key at the hot end with the given byte cost,
+// then evicts cold entries until the budget holds. The entry just put is
+// never evicted, even when it alone exceeds the budget — the caller is
+// about to use it.
+func (c *lruCache[V]) put(key string, v V, bytes int64) {
+	if n, ok := c.entries[key]; ok {
+		c.size += bytes - n.bytes
+		n.val = v
+		n.bytes = bytes
+		c.touch(n)
+		c.evict(n)
+		return
+	}
+	n := &lruNode[V]{key: key, val: v, bytes: bytes}
+	c.entries[key] = n
+	c.size += bytes
+	c.pushFront(n)
+	c.evict(n)
+}
+
+// resize updates key's byte cost once its real size is known (entries
+// are claimed before their builds complete) and applies the budget. A
+// key already evicted is left alone.
+func (c *lruCache[V]) resize(key string, bytes int64) {
+	n, ok := c.entries[key]
+	if !ok {
+		return
+	}
+	c.size += bytes - n.bytes
+	n.bytes = bytes
+	c.touch(n)
+	c.evict(n)
+}
+
+// len returns the resident entry count.
+func (c *lruCache[V]) len() int { return len(c.entries) }
+
+// bytes returns the accounted resident size.
+func (c *lruCache[V]) bytes() int64 { return c.size }
+
+// evicted returns how many entries the budget has pushed out.
+func (c *lruCache[V]) evicted() uint64 { return c.evictions }
+
+// evict drops cold-end entries until the budget holds, sparing keep.
+func (c *lruCache[V]) evict(keep *lruNode[V]) {
+	if c.budget <= 0 {
+		return
+	}
+	for c.size > c.budget && c.tail != nil && c.tail != keep {
+		n := c.tail
+		c.unlink(n)
+		delete(c.entries, n.key)
+		c.size -= n.bytes
+		c.evictions++
+	}
+}
+
+func (c *lruCache[V]) touch(n *lruNode[V]) {
+	if c.head == n {
+		return
+	}
+	c.unlink(n)
+	c.pushFront(n)
+}
+
+func (c *lruCache[V]) pushFront(n *lruNode[V]) {
+	n.prev = nil
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+func (c *lruCache[V]) unlink(n *lruNode[V]) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}

@@ -32,6 +32,11 @@ type Result struct {
 	// EventsSkipped is how many trace events that avoided re-simulating.
 	Incremental   bool
 	EventsSkipped uint64
+	// Composed marks an incremental evaluation served by composing a
+	// memoized standalone general-pool run with the configuration's
+	// partition — no simulation at all, O(ops) additions. Composed
+	// implies Incremental.
+	Composed bool
 	// Predicted carries the surrogate's per-objective predictions made
 	// when this configuration was submitted for exact evaluation (nil
 	// outside surrogate-assisted searches). The journal preserves it, so
@@ -56,6 +61,7 @@ func (r Result) JournalRecord() telemetry.Record {
 
 		Incremental:   r.Incremental,
 		EventsSkipped: r.EventsSkipped,
+		Composed:      r.Composed,
 	}
 	rec.Origin = r.Origin
 	if r.Err != nil {
@@ -130,7 +136,25 @@ type Runner struct {
 	// cannot reproduce exactly fall back to a full replay automatically.
 	// The flag only takes effect under fast-path profiling (no log
 	// writer, caches, row buffers or footprint sampling).
+	//
+	// On top of the per-signature partitions, sessions memoize the
+	// standalone general-pool runs by (recorded-op content hash,
+	// general-pool parameters): a candidate whose fixed-pool signature
+	// records an op sequence already replayed under the same general
+	// vector — reclaim-axis neighbours, NSGA-II crossover offspring
+	// recombining two seen half-vectors — is served by an O(ops)
+	// composition with no simulation at all (Result.Composed).
 	Incremental bool
+
+	// PartitionBudgetBytes bounds the session's partition cache
+	// (size-aware LRU over the per-signature invariant replays): 0 uses
+	// DefaultPartitionBudgetBytes, negative is unbounded. Evicted
+	// signatures rebuild on next use; results are unaffected.
+	PartitionBudgetBytes int64
+
+	// PoolMemoBudgetBytes bounds the session's pool-run memo the same
+	// way: 0 uses DefaultPoolMemoBudgetBytes, negative is unbounded.
+	PoolMemoBudgetBytes int64
 
 	// Surrogate, when non-nil, enables surrogate-assisted candidate
 	// screening in the guided search strategies (HillClimb, Anneal,
@@ -150,7 +174,15 @@ type Runner struct {
 	// wall-clock time. Cache and memo hits skip it, exactly as they skip
 	// the backend. Incremental partial evaluations charge it pro-rata to
 	// the replayed fraction of the trace: the modelled backend re-runs
-	// only the partition's recorded ops, not the whole trace.
+	// only the partition's recorded ops, not the whole trace. Composed
+	// evaluations (pool-run memo hits) charge only their own composition
+	// cost — nothing re-runs on the backend at all.
+	//
+	// Charges accrue per worker and sleep in EvalLatency quanta (one
+	// modelled round-trip): sleeping each sub-millisecond pro-rata slice
+	// individually would add the runtime's timer overshoot per call,
+	// silently inflating the model. Total slept time equals total charged
+	// time; residual debt is flushed when the session drains.
 	EvalLatency time.Duration
 }
 

@@ -50,9 +50,20 @@ type EvalSession struct {
 	incremental bool
 
 	// parts caches the invariant partition per fixed-pool signature; the
-	// entry's once makes concurrent workers build it exactly once.
+	// entry's once makes concurrent workers build it exactly once. The
+	// cache is a size-aware LRU bounded by Runner.PartitionBudgetBytes so
+	// long NSGA-II runs over signature-rich spaces cannot grow it without
+	// limit; an evicted signature simply rebuilds on next use.
 	partsMu sync.Mutex
-	parts   map[string]*partitionEntry
+	parts   *lruCache[*partitionEntry]
+
+	// runs memoizes standalone general-pool replays by (recorded-op
+	// content hash, general-pool parameters). A hit composes cached
+	// per-gap reserve levels and metric components with the candidate's
+	// partition in O(ops) additions — no simulation. Bounded like parts,
+	// by Runner.PoolMemoBudgetBytes.
+	runsMu sync.Mutex
+	runs   *lruCache[*poolRunEntry]
 
 	// total/done drive the Progress callback: total grows as batches are
 	// submitted, done as configurations complete.
@@ -67,6 +78,69 @@ type partitionEntry struct {
 	once sync.Once
 	part *profile.Partition
 	err  error
+}
+
+// poolRunEntry is one (ops hash, general vector) key's cached standalone
+// general-pool replay. ok is false when the replay declined (a pool
+// error only a full replay may surface) — cached so the key is not
+// retried.
+type poolRunEntry struct {
+	once sync.Once
+	run  *profile.PoolRun
+	ok   bool
+}
+
+// Default byte budgets for the session's incremental caches. At typical
+// trace scales (10^5–10^6 recorded ops, ~16 bytes per op across the
+// partition's slices) the defaults hold hundreds of partitions and
+// thousands of pool runs — far past what a guided search touches — while
+// keeping a week-long NSGA-II service run bounded.
+const (
+	DefaultPartitionBudgetBytes = 256 << 20
+	DefaultPoolMemoBudgetBytes  = 128 << 20
+)
+
+// cacheBudget resolves a Runner budget knob: 0 means the default,
+// negative means unbounded (the lruCache convention for <= 0).
+func cacheBudget(knob, def int64) int64 {
+	if knob == 0 {
+		return def
+	}
+	if knob < 0 {
+		return 0
+	}
+	return knob
+}
+
+// IncrementalCacheStats reports the occupancy of the session's bounded
+// incremental caches (partition cache and pool-run memo).
+type IncrementalCacheStats struct {
+	PartitionEntries   int
+	PartitionBytes     int64
+	PartitionEvictions uint64
+	PoolRunEntries     int
+	PoolRunBytes       int64
+	PoolRunEvictions   uint64
+}
+
+// IncrementalCacheStats snapshots the bounded incremental caches. Zero
+// for sessions running without the incremental path.
+func (s *EvalSession) IncrementalCacheStats() IncrementalCacheStats {
+	var st IncrementalCacheStats
+	if !s.incremental {
+		return st
+	}
+	s.partsMu.Lock()
+	st.PartitionEntries = s.parts.len()
+	st.PartitionBytes = s.parts.bytes()
+	st.PartitionEvictions = s.parts.evicted()
+	s.partsMu.Unlock()
+	s.runsMu.Lock()
+	st.PoolRunEntries = s.runs.len()
+	st.PoolRunBytes = s.runs.bytes()
+	st.PoolRunEvictions = s.runs.evicted()
+	s.runsMu.Unlock()
+	return st
 }
 
 // evalJob is one configuration handed to a session worker: where to write
@@ -130,7 +204,10 @@ func (r *Runner) newSession(space *Space, maxWorkers int) (*EvalSession, error) 
 	s.incremental = r.Incremental && opts.LogWriter == nil &&
 		opts.SampleEvery == 0 && len(opts.Caches) == 0 && len(opts.RowBuffers) == 0
 	if s.incremental {
-		s.parts = make(map[string]*partitionEntry)
+		s.parts = newLRUCache[*partitionEntry](
+			cacheBudget(r.PartitionBudgetBytes, DefaultPartitionBudgetBytes))
+		s.runs = newLRUCache[*poolRunEntry](
+			cacheBudget(r.PoolMemoBudgetBytes, DefaultPoolMemoBudgetBytes))
 	}
 	for w := 0; w < workers; w++ {
 		s.wg.Add(1)
@@ -228,8 +305,9 @@ func (s *EvalSession) worker(w int) {
 	rep := profile.NewReplayer()
 	rep.Shard = shard
 	rep.Spans = s.r.Spans.Ring(w)
+	var debt time.Duration
 	for job := range s.jobs {
-		res := s.evalOne(job.idx, rep, shard)
+		res := s.evalOne(job.idx, rep, shard, &debt)
 		res.Predicted = job.predicted
 		res.Origin = job.origin
 		*job.out = res
@@ -241,11 +319,31 @@ func (s *EvalSession) worker(w int) {
 		}
 		job.wg.Done()
 	}
+	if debt > 0 {
+		// Flush the worker's residual modelled-backend time (at most one
+		// round-trip) so total slept time equals total charged time.
+		time.Sleep(debt)
+	}
+}
+
+// chargeLatency accrues modelled backend time and sleeps once the debt
+// reaches one backend round-trip (EvalLatency). Partial evaluations
+// charge sub-millisecond pro-rata slices; sleeping each individually
+// would overshoot by the runtime's timer granularity per call, silently
+// inflating the modelled backend by tens of percent. Accumulating to one
+// round-trip keeps the total slept time equal to the total charged time
+// regardless of how finely the charges are sliced.
+func (s *EvalSession) chargeLatency(debt *time.Duration, d time.Duration) {
+	*debt += d
+	if *debt >= s.r.EvalLatency {
+		time.Sleep(*debt)
+		*debt = 0
+	}
 }
 
 // evalOne profiles one configuration: materialize, memo lookup, results
 // cache lookup, simulate on miss.
-func (s *EvalSession) evalOne(idx int, rep *profile.Replayer, shard *telemetry.Shard) Result {
+func (s *EvalSession) evalOne(idx int, rep *profile.Replayer, shard *telemetry.Shard, debt *time.Duration) Result {
 	r := s.r
 	start := time.Now()
 	res := Result{Index: idx}
@@ -286,24 +384,42 @@ func (s *EvalSession) evalOne(idx int, rep *profile.Replayer, shard *telemetry.S
 		}
 		if res.Metrics == nil && s.incremental {
 			// Partial re-evaluation: configurations sharing a fixed-pool
-			// signature reuse one invariant partition and re-simulate only
-			// the ops that reached the general pool. A declined partial
-			// (capacity interaction, pool failure) falls through to the
+			// signature reuse one invariant partition; the standalone
+			// general-pool run is memoized by recorded-op content, so a
+			// candidate whose sequence was already replayed under the same
+			// general vector composes in O(ops) with no simulation. A
+			// declined partial (capacity interaction, pool failure the
+			// failure-replay path cannot reproduce) falls through to the
 			// full replay below.
 			if part := s.partition(cfg, rep); part != nil {
-				if m, ok := rep.RunPartial(s.ct, part, cfg, r.Hierarchy); ok {
-					res.Metrics = m
-					res.Incremental = true
-					res.EventsSkipped = uint64(part.SkippedEvents())
-					if r.EvalLatency > 0 {
-						// The modelled backend replays only the partition's
-						// recorded ops, so it charges latency pro-rata to the
-						// replayed fraction of the trace.
-						time.Sleep(time.Duration(float64(r.EvalLatency) *
-							float64(part.Ops()) / float64(part.Events())))
-					}
-					if r.Cache != nil {
-						r.Cache.Put(key, res.Metrics)
+				pstart := time.Now()
+				if run, built := s.poolRun(part, cfg, rep); run != nil {
+					if m, ok := rep.Compose(s.ct, part, run, cfg, r.Hierarchy); ok {
+						res.Metrics = m
+						res.Incremental = true
+						if built {
+							res.EventsSkipped = uint64(part.SkippedEvents())
+							shard.ObservePartialSim(time.Since(pstart), part.Ops(), part.SkippedEvents())
+							rep.Spans.Since(span.StagePartialSim, pstart, int64(part.Ops()))
+							if r.EvalLatency > 0 {
+								// The modelled backend replays only the partition's
+								// recorded ops, so it charges latency pro-rata to the
+								// replayed fraction of the trace.
+								s.chargeLatency(debt, time.Duration(float64(r.EvalLatency)*
+									float64(part.Ops())/float64(part.Events())))
+							}
+						} else {
+							// Memo hit: the evaluation is a pure composition.
+							// It charges its own (microsecond) cost and no
+							// modelled backend latency — nothing re-ran.
+							res.Composed = true
+							res.EventsSkipped = uint64(part.Events())
+							shard.ObserveCompose(time.Since(pstart), part.Events())
+							rep.Spans.Since(span.StageCompose, pstart, int64(part.Ops()))
+						}
+						if r.Cache != nil {
+							r.Cache.Put(key, res.Metrics)
+						}
 					}
 				}
 			}
@@ -321,7 +437,7 @@ func (s *EvalSession) evalOne(idx int, rep *profile.Replayer, shard *telemetry.S
 				if r.EvalLatency > 0 {
 					// Model an external evaluation backend (see the
 					// EvalLatency doc comment).
-					time.Sleep(r.EvalLatency)
+					s.chargeLatency(debt, r.EvalLatency)
 				}
 				if r.Cache != nil {
 					r.Cache.Put(key, res.Metrics)
@@ -347,19 +463,81 @@ func (s *EvalSession) evalOne(idx int, rep *profile.Replayer, shard *telemetry.S
 func (s *EvalSession) partition(cfg alloc.Config, rep *profile.Replayer) *profile.Partition {
 	sig := partitionKey(cfg)
 	s.partsMu.Lock()
-	e := s.parts[sig]
-	if e == nil {
+	e, ok := s.parts.get(sig)
+	if !ok {
 		e = &partitionEntry{}
-		s.parts[sig] = e
+		s.parts.put(sig, e, partitionEntryBytes)
 	}
 	s.partsMu.Unlock()
 	e.once.Do(func() {
 		e.part, e.err = rep.Partition(s.ct, cfg, s.r.Hierarchy)
+		if e.part != nil {
+			// Account the built partition's real size; the budget may
+			// evict colder signatures (never this one — it is in use).
+			s.partsMu.Lock()
+			s.parts.resize(sig, partitionEntryBytes+e.part.MemBytes())
+			s.partsMu.Unlock()
+		}
 	})
 	if e.err != nil {
 		return nil
 	}
 	return e.part
+}
+
+// Baseline byte costs of a cache entry before (or beyond) its payload:
+// map slot, recency-list node, entry struct.
+const (
+	partitionEntryBytes = 128
+	poolRunEntryBytes   = 128
+)
+
+// poolRun returns the memoized standalone general-pool run for part's
+// recorded op sequence under cfg's general-pool parameters, building it
+// on first use; concurrent workers claiming the same key build exactly
+// once. built reports whether this call executed the standalone replay
+// (false: served by the memo — the caller's composition is the whole
+// evaluation). A nil run means the replay declined and only a full
+// replay can evaluate the configuration.
+func (s *EvalSession) poolRun(part *profile.Partition, cfg alloc.Config, rep *profile.Replayer) (run *profile.PoolRun, built bool) {
+	key := poolRunKey(part, cfg)
+	s.runsMu.Lock()
+	e, ok := s.runs.get(key)
+	if !ok {
+		e = &poolRunEntry{}
+		s.runs.put(key, e, poolRunEntryBytes)
+	}
+	s.runsMu.Unlock()
+	e.once.Do(func() {
+		built = true
+		e.run, e.ok = rep.PoolReplay(part, cfg, s.r.Hierarchy)
+		if e.ok {
+			s.runsMu.Lock()
+			s.runs.resize(key, poolRunEntryBytes+e.run.MemBytes())
+			s.runsMu.Unlock()
+		}
+	})
+	if !e.ok {
+		return nil, built
+	}
+	if !built && !e.run.MatchesOps(part) {
+		// Content-hash collision: the cached run replayed a different op
+		// sequence. Compute privately rather than trust or replace it.
+		if r2, ok2 := rep.PoolReplay(part, cfg, s.r.Hierarchy); ok2 {
+			return r2, true
+		}
+		return nil, true
+	}
+	return e.run, built
+}
+
+// poolRunKey keys the pool-run memo: the recorded op sequence's content
+// hash and length plus the canonical general-pool parameter vector.
+// Everything a standalone replay depends on is in the key; the sequence
+// itself is verified on reuse (PoolRun.MatchesOps) so a hash collision
+// degrades to a private rebuild, never a wrong composition.
+func poolRunKey(part *profile.Partition, cfg alloc.Config) string {
+	return fmt.Sprintf("%016x·%d·%s", part.OpsHash(), part.Ops(), cfg.General.ID())
 }
 
 // partitionKey canonicalizes the fixed-pool signature: the fixed pools

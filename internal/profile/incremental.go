@@ -1,6 +1,7 @@
 package profile
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -48,6 +49,31 @@ import (
 // row buffers, no footprint series): the recording fallback hands out
 // synthetic addresses, which only the flat address-independent cost
 // model may observe.
+//
+// The partial replay itself splits further (PoolReplay/Compose): the
+// standalone general-pool run depends only on the recorded op sequence
+// and the general pool's parameters — not on which fixed-pool signature
+// recorded the sequence — so a PoolRun captured under one partition
+// composes exactly with any partition whose recorded ops are
+// content-identical. The session memoizes PoolRuns by (ops content hash,
+// GeneralConfig.ID), turning a fixed-axis move whose neighbour records
+// the same fallback sequence (reclaim flips, pool-set swaps that route
+// identically, NSGA-II crossover offspring mixing a seen fixed signature
+// with a seen general vector) into an O(ops) composition with no
+// simulation at all.
+//
+// Exactness extends to capacity-failing runs when no fixed pool shares
+// the general layer: the standalone pool then sees exactly the reserve
+// headroom the real composed run would (fixed-side occupancy on the
+// general layer is identically zero), so its allocation failures — pool
+// budget or layer capacity — reproduce the real run's failures
+// op-for-op. PoolReplay records them; Compose subtracts the partition's
+// charges for the events the real replay loop would have skipped (the
+// failed allocation's accesses, and the free-dispatch cycles of its
+// skipped KindFree). When a fixed pool does share the general layer a
+// failing run still declines to a full replay: the standalone pool
+// cannot see the fixed-side occupancy that decides which reserve fails
+// first.
 
 // recBase is the synthetic address base the recording fallback hands
 // out. Real reservations are bump-allocated from zero and never approach
@@ -136,6 +162,27 @@ type Partition struct {
 	ops    []int64 // recorded fallback ops (see recordingFallback.ops)
 	allocs int
 	fMax   []int64 // len(ops)+1 gap maxima on genLayer
+
+	// opsHash is a content hash of ops — the pool-run memo key half that
+	// lets content-identical sequences recorded under different fixed-pool
+	// signatures share one standalone general-pool run.
+	opsHash uint64
+
+	// numFixed is the configuration's fixed-pool count; the composed
+	// free-dispatch cost is numFixed+1 compute cycles, which failure
+	// replay must subtract for each free the real run skips.
+	numFixed int
+
+	// sharesGen records whether any fixed pool reserves from the general
+	// layer. Failure replay is exact only when false (the standalone pool
+	// then sees the real run's exact reserve headroom).
+	sharesGen bool
+
+	// recReads/recWrites tally, per recorded allocation, the word reads
+	// and writes the trace charges to it — the general-layer traffic the
+	// real replay loop skips when that allocation fails.
+	recReads  []uint64
+	recWrites []uint64
 }
 
 // Ops returns the number of recorded fallback ops a partial replay
@@ -148,6 +195,24 @@ func (p *Partition) Events() int { return p.events }
 // SkippedEvents returns how many trace events a partial replay avoids
 // re-simulating compared to a full replay.
 func (p *Partition) SkippedEvents() int { return p.events - len(p.ops) }
+
+// OpsHash returns the content hash of the recorded fallback op sequence
+// (FNV-1a over the op words). Equal hashes are a memo-probe filter, not
+// a correctness guarantee: pool-run reuse additionally verifies the full
+// sequence (see PoolRun.MatchesOps).
+func (p *Partition) OpsHash() uint64 { return p.opsHash }
+
+// SharesGeneralLayer reports whether a fixed pool reserves from the
+// general pool's layer. When it does, capacity-failing candidates cannot
+// be served by the partial path.
+func (p *Partition) SharesGeneralLayer() bool { return p.sharesGen }
+
+// MemBytes estimates the partition's retained heap footprint, the unit
+// the session's size-aware cache bound accounts in.
+func (p *Partition) MemBytes() int64 {
+	return int64(len(p.ops))*8 + int64(len(p.fMax))*8 +
+		int64(len(p.recReads))*16 + int64(len(p.counters))*32 + 256
+}
 
 // Partition replays ct once with cfg's fixed pools composed over an
 // inert recording fallback, producing the invariant decomposition shared
@@ -172,7 +237,12 @@ func (r *Replayer) Partition(ct *trace.Compiled, cfg alloc.Config, h *memhier.Hi
 	// instant the real build would construct the general pool.
 	rec.gapMax = ctx.Counters(genLayer).ReservedBytes
 
-	p := &Partition{genLayer: genLayer, events: ct.Len()}
+	p := &Partition{genLayer: genLayer, events: ct.Len(), numFixed: len(cfg.Fixed)}
+	for _, f := range cfg.Fixed {
+		if id, ok := h.ByName(f.Layer); ok && id == genLayer {
+			p.sharesGen = true
+		}
+	}
 	r.reset(ct.NumIDs)
 	kinds, ids, argA, argB := ct.Slabs()
 	for i := range kinds {
@@ -204,6 +274,18 @@ func (r *Replayer) Partition(ct *trace.Compiled, cfg alloc.Config, h *memhier.Hi
 				continue
 			}
 			ptr := r.ptrs[id]
+			if ptr.Addr >= recBase {
+				// Traffic charged to a recorded (fallback-served)
+				// allocation: tallied per allocation so failure replay can
+				// subtract the accesses the real run never performs.
+				k := int((ptr.Addr - recBase) / simheap.WordSize)
+				for k >= len(p.recReads) {
+					p.recReads = append(p.recReads, 0)
+					p.recWrites = append(p.recWrites, 0)
+				}
+				p.recReads[k] += argA[i]
+				p.recWrites[k] += argB[i]
+			}
 			if reads := argA[i]; reads > 0 {
 				ctx.Read(ptr.Layer, ptr.Addr, reads)
 			}
@@ -227,6 +309,7 @@ func (r *Replayer) Partition(ct *trace.Compiled, cfg alloc.Config, h *memhier.Hi
 	p.ops = rec.ops
 	p.allocs = rec.allocs
 	p.fMax = rec.fMax[:len(rec.ops)+1]
+	p.opsHash = hashOps(rec.ops)
 	if r.Shard != nil {
 		r.Shard.ObservePartitionBuild(time.Since(start), ct.Len())
 	}
@@ -234,20 +317,73 @@ func (r *Replayer) Partition(ct *trace.Compiled, cfg alloc.Config, h *memhier.Hi
 	return p, nil
 }
 
-// RunPartial profiles cfg by replaying only part's recorded fallback ops
-// against a standalone general pool and composing the result with the
-// partition's invariant half. cfg must share part's fixed-pool signature.
-// The returned metrics are bit-identical to a full fast-path Run. ok is
-// false when the partial path cannot reproduce the full replay exactly —
-// the standalone pool errored (the real run would record allocation
-// failures) or the composed peak overflows the general layer's capacity
-// (fixed and general reserves interact) — and the caller must fall back
-// to a full replay.
-func (r *Replayer) RunPartial(ct *trace.Compiled, part *Partition, cfg alloc.Config, h *memhier.Hierarchy) (*Metrics, bool) {
-	var start time.Time
-	if r.Shard != nil || r.Spans != nil {
-		start = time.Now()
+// PoolRun is one standalone general-pool replay of a recorded fallback
+// op sequence: everything Compose needs to assemble full-run metrics in
+// O(ops) additions without re-simulating. It depends only on the op
+// sequence's content and the general pool's parameters — not on which
+// partition recorded the sequence — so it is shareable (via the
+// session's pool-run memo) across every partition whose recorded ops are
+// content-identical. Immutable once built.
+type PoolRun struct {
+	ops []int64 // the replayed sequence (shared with the recording partition)
+
+	gAfter   []int64 // len(ops)+1: pool-reserved bytes after build and after each op
+	counters []simheap.LayerCounters
+	cycles   uint64
+
+	// Failure replay: failed[k] marks the k-th recorded allocation as
+	// failed (nil when the run is clean), failures counts them, and
+	// skippedFrees counts the recorded frees of failed allocations — the
+	// KindFree events the real replay loop skips.
+	failed       []bool
+	failures     uint64
+	skippedFrees uint64
+}
+
+// Ops returns the length of the replayed op sequence.
+func (pr *PoolRun) Ops() int { return len(pr.ops) }
+
+// Failures returns the allocation failures the standalone replay
+// recorded.
+func (pr *PoolRun) Failures() uint64 { return pr.failures }
+
+// MatchesOps verifies the run's op sequence is content-identical to the
+// partition's — the collision-safety check behind the hash-keyed memo. A
+// mismatch means a hash collision; the caller must replay instead of
+// composing.
+func (pr *PoolRun) MatchesOps(part *Partition) bool {
+	if len(pr.ops) != len(part.ops) {
+		return false
 	}
+	for i, op := range pr.ops {
+		if op != part.ops[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MemBytes estimates the run's retained heap footprint (the shared ops
+// slice is charged to the partition that recorded it).
+func (pr *PoolRun) MemBytes() int64 {
+	return int64(len(pr.gAfter))*8 + int64(len(pr.failed)) +
+		int64(len(pr.counters))*32 + 192
+}
+
+// failedAddr is the placeholder payload address recorded for a failed
+// allocation; it is never dereferenced (frees of failed allocations are
+// skipped), the sentinel only keeps the slot occupied so later recorded
+// allocation indices stay aligned.
+const failedAddr = ^uint64(0)
+
+// PoolReplay replays part's recorded fallback ops against a standalone
+// instance of cfg's general pool, producing the sharable PoolRun half of
+// a partial evaluation. Allocation failures wrapping alloc.ErrOutOfMemory
+// — pool budget exhausted or layer capacity overflow — are recorded and
+// replayed through, exactly as the real replay loop records a failure
+// and skips the allocation's later frees; any other pool error returns
+// ok=false (a full replay must surface it).
+func (r *Replayer) PoolReplay(part *Partition, cfg alloc.Config, h *memhier.Hierarchy) (*PoolRun, bool) {
 	ctx := simheap.NewContext(h)
 	pool, err := cfg.BuildGeneral(ctx)
 	if err != nil {
@@ -258,20 +394,67 @@ func (r *Replayer) RunPartial(ct *trace.Compiled, part *Partition, cfg alloc.Con
 		r.genAddrs = make([]uint64, 0, part.allocs)
 	}
 	addrs := r.genAddrs[:0]
-	maxSum := part.fMax[0] + ctx.Counters(genLayer).ReservedBytes
+	run := &PoolRun{
+		ops:    part.ops,
+		gAfter: make([]int64, len(part.ops)+1),
+	}
+	run.gAfter[0] = ctx.Counters(genLayer).ReservedBytes
+	allocIdx := 0
 	for j, op := range part.ops {
 		if op > 0 {
+			k := allocIdx
+			allocIdx++
 			ptr, _, err := pool.Malloc(op)
-			if err != nil {
+			switch {
+			case err == nil:
+				addrs = append(addrs, ptr.Addr)
+			case errors.Is(err, alloc.ErrOutOfMemory):
+				if run.failed == nil {
+					run.failed = make([]bool, part.allocs)
+				}
+				run.failed[k] = true
+				run.failures++
+				addrs = append(addrs, failedAddr)
+			default:
 				return nil, false
 			}
-			addrs = append(addrs, ptr.Addr)
 		} else {
-			if _, err := pool.Free(addrs[^op]); err != nil {
+			k := ^op
+			if run.failed != nil && run.failed[k] {
+				run.skippedFrees++
+			} else if _, err := pool.Free(addrs[k]); err != nil {
 				return nil, false
 			}
 		}
-		if s := part.fMax[j+1] + ctx.Counters(genLayer).ReservedBytes; s > maxSum {
+		run.gAfter[j+1] = ctx.Counters(genLayer).ReservedBytes
+	}
+	run.counters = make([]simheap.LayerCounters, h.NumLayers())
+	for i := range run.counters {
+		run.counters[i] = ctx.Counters(memhier.LayerID(i))
+	}
+	run.cycles = ctx.Cycles()
+	return run, true
+}
+
+// Compose assembles full-run metrics from a partition's invariant half
+// and a standalone PoolRun of its recorded op sequence — O(ops)
+// additions, no simulation. run must have been produced by PoolReplay on
+// an op sequence content-identical to part's (the memo verifies this via
+// MatchesOps), and cfg must share part's fixed-pool signature with run's
+// general-pool parameters. The result is bit-identical to a full
+// fast-path Run. ok is false when composition cannot reproduce the full
+// replay exactly: the composed peak overflows the general layer's
+// capacity, or the run recorded allocation failures while a fixed pool
+// shares the general layer (the standalone pool's failure points then
+// diverge from the real run's).
+func (r *Replayer) Compose(ct *trace.Compiled, part *Partition, run *PoolRun, cfg alloc.Config, h *memhier.Hierarchy) (*Metrics, bool) {
+	if run.failures > 0 && part.sharesGen {
+		return nil, false
+	}
+	genLayer := part.genLayer
+	maxSum := part.fMax[0] + run.gAfter[0]
+	for j := 1; j < len(run.gAfter); j++ {
+		if s := part.fMax[j] + run.gAfter[j]; s > maxSum {
 			maxSum = s
 		}
 	}
@@ -279,20 +462,41 @@ func (r *Replayer) RunPartial(ct *trace.Compiled, part *Partition, cfg alloc.Con
 		return nil, false
 	}
 
+	// Failure corrections: the real replay loop skips a failed
+	// allocation's accesses and frees entirely, but the partition's
+	// invariant half charged them (its recording fallback never fails).
+	// Subtract the general-layer traffic tallied against each failed
+	// allocation and the free-dispatch cycles of each skipped free.
+	var adjReads, adjWrites uint64
+	if run.failures > 0 {
+		for k, failed := range run.failed {
+			if failed && k < len(part.recReads) {
+				adjReads += part.recReads[k]
+				adjWrites += part.recWrites[k]
+			}
+		}
+	}
+	genLayerInfo := h.Layer(genLayer)
+	cycles := part.cycles + run.cycles -
+		adjReads*uint64(genLayerInfo.ReadCycles) -
+		adjWrites*uint64(genLayerInfo.WriteCycles) -
+		run.skippedFrees*uint64(part.numFixed+1)
+
 	counters := make([]simheap.LayerCounters, h.NumLayers())
 	for i := range counters {
 		inv := part.counters[i]
-		gen := ctx.Counters(memhier.LayerID(i))
+		gen := run.counters[i]
 		counters[i] = simheap.LayerCounters{
 			Reads:     inv.Reads + gen.Reads,
 			Writes:    inv.Writes + gen.Writes,
 			PeakBytes: inv.PeakBytes,
 		}
 		if memhier.LayerID(i) == genLayer {
+			counters[i].Reads -= adjReads
+			counters[i].Writes -= adjWrites
 			counters[i].PeakBytes = maxSum
 		}
 	}
-	cycles := part.cycles + ctx.Cycles()
 
 	m := &Metrics{
 		ConfigID:    cfg.ID(),
@@ -315,12 +519,58 @@ func (r *Replayer) RunPartial(ct *trace.Compiled, part *Partition, cfg alloc.Con
 	m.FootprintBytes = footprint
 	m.EnergyNJ = simheap.EnergyOf(h, counters, cycles, 0)
 	m.Cycles = cycles
-	m.Mallocs = part.mallocs
-	m.Frees = part.frees
+	m.Mallocs = part.mallocs - run.failures
+	m.Frees = part.frees - run.skippedFrees
+	m.Failures = run.failures
 	m.PeakRequestedBytes = ct.PeakRequestedBytes
+	return m, true
+}
+
+// RunPartial profiles cfg by replaying only part's recorded fallback ops
+// against a standalone general pool (PoolReplay) and composing the
+// result with the partition's invariant half (Compose). cfg must share
+// part's fixed-pool signature. The returned metrics are bit-identical to
+// a full fast-path Run — including runs with allocation failures, when
+// no fixed pool shares the general layer. ok is false when the partial
+// path cannot reproduce the full replay exactly and the caller must fall
+// back to a full replay.
+func (r *Replayer) RunPartial(ct *trace.Compiled, part *Partition, cfg alloc.Config, h *memhier.Hierarchy) (*Metrics, bool) {
+	var start time.Time
+	if r.Shard != nil || r.Spans != nil {
+		start = time.Now()
+	}
+	run, ok := r.PoolReplay(part, cfg, h)
+	if !ok {
+		return nil, false
+	}
+	m, ok := r.Compose(ct, part, run, cfg, h)
+	if !ok {
+		return nil, false
+	}
 	if r.Shard != nil {
 		r.Shard.ObservePartialSim(time.Since(start), len(part.ops), part.SkippedEvents())
 	}
 	r.Spans.Since(span.StagePartialSim, start, int64(len(part.ops)))
 	return m, true
+}
+
+// hashOps is FNV-1a over the op words — the memo-key content hash of a
+// recorded fallback sequence. Collisions are tolerated (PoolRun.MatchesOps
+// verifies the full sequence before reuse), the hash only has to make
+// them vanishingly rare.
+func hashOps(ops []int64) uint64 {
+	const (
+		offset64 = 0xcbf29ce484222325
+		prime64  = 0x100000001b3
+	)
+	h := uint64(offset64)
+	for _, op := range ops {
+		v := uint64(op)
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	return h
 }

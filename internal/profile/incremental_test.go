@@ -183,6 +183,195 @@ func TestPartialSharesPartitionAcrossNeighbours(t *testing.T) {
 	}
 }
 
+// oomFixedTrace mixes dedicated-pool traffic (74-byte packet records)
+// with general-pool allocations whose big outlier overflows a
+// budget-capped general pool — the failure-replay fixture.
+func oomFixedTrace(t *testing.T) *trace.Compiled {
+	t.Helper()
+	b := trace.NewBuilder("oomfixed")
+	var pkts []uint64
+	for i := 0; i < 8; i++ {
+		p := b.Alloc(74)
+		b.Access(p, 4, 2)
+		pkts = append(pkts, p)
+	}
+	small := b.Alloc(512)
+	b.Access(small, 8, 4)
+	big := b.Alloc(8 * 1024) // exceeds the capped general pool below
+	b.Access(big, 16, 16)    // accesses to the failed allocation: skipped
+	b.Tick(50)
+	b.Free(big) // free of the failed allocation: skipped
+	mid := b.Alloc(1024)
+	b.Access(mid, 4, 4)
+	b.Free(small)
+	for _, p := range pkts {
+		b.Free(p)
+	}
+	b.FreeAll()
+	ct, err := trace.Compile(b.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ct
+}
+
+// cappedGeneral caps the general pool so oomFixedTrace's 8 KB allocation
+// fails with alloc.ErrOutOfMemory.
+func cappedGeneral() alloc.GeneralConfig {
+	gen := alloc.SimpleFirstFitConfig(memhier.LayerDRAM).General
+	gen.ChunkBytes = 2 * 1024
+	gen.MaxBytes = 4 * 1024
+	return gen
+}
+
+// TestRunPartialFailureReplay pins the failure-replay extension: with a
+// scratchpad fixed pool (no fixed pool on the general layer), a
+// capacity-failing run must be served by the partial path bit-identically
+// to a full replay — failures, skipped frees and skipped accesses
+// included.
+func TestRunPartialFailureReplay(t *testing.T) {
+	ct := oomFixedTrace(t)
+	h := memhier.EmbeddedSoC()
+	rep := NewReplayer()
+	cfg := alloc.Config{
+		Label: "oom/sp74",
+		Fixed: []alloc.FixedConfig{{
+			SlotBytes: 74, MatchLo: 74, MatchHi: 74, Layer: memhier.LayerScratchpad,
+			Order: alloc.LIFO, Links: alloc.SingleLink,
+			Growth: alloc.GrowFixedChunk, ChunkSlots: 16, MaxBytes: 4 * 1024,
+		}},
+		General: cappedGeneral(),
+	}
+
+	full, err := rep.Run(ct, cfg, h, Options{})
+	if err != nil {
+		t.Fatalf("full replay: %v", err)
+	}
+	if full.Failures == 0 {
+		t.Fatal("fixture did not trigger an allocation failure")
+	}
+	part, err := rep.Partition(ct, cfg, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.SharesGeneralLayer() {
+		t.Fatal("scratchpad fixed pool reported as sharing the general layer")
+	}
+	run, ok := rep.PoolReplay(part, cfg, h)
+	if !ok {
+		t.Fatal("PoolReplay declined a budget-capped general pool")
+	}
+	if run.Failures() != full.Failures {
+		t.Fatalf("standalone replay recorded %d failures, full replay %d",
+			run.Failures(), full.Failures)
+	}
+	pm, ok := rep.RunPartial(ct, part, cfg, h)
+	if !ok {
+		t.Fatal("partial path declined a failure-replayable run")
+	}
+	if math.Float64bits(pm.EnergyNJ) != math.Float64bits(full.EnergyNJ) {
+		t.Errorf("energy bits diverge: %v vs %v", pm.EnergyNJ, full.EnergyNJ)
+	}
+	if !reflect.DeepEqual(pm, full) {
+		t.Errorf("failure replay diverges from full replay:\n  partial %+v\n  full    %+v", pm, full)
+	}
+}
+
+// TestRunPartialFailureDeclinesSharedLayer guards the exactness boundary:
+// when a fixed pool reserves from the general layer, a failing run's
+// failure points depend on fixed-side occupancy the standalone pool
+// cannot see, so the partial path must decline.
+func TestRunPartialFailureDeclinesSharedLayer(t *testing.T) {
+	ct := oomFixedTrace(t)
+	h := memhier.EmbeddedSoC()
+	rep := NewReplayer()
+	cfg := alloc.Config{
+		Label: "oom/d74",
+		Fixed: []alloc.FixedConfig{{
+			SlotBytes: 74, MatchLo: 74, MatchHi: 74, Layer: memhier.LayerDRAM,
+			Order: alloc.LIFO, Links: alloc.SingleLink,
+			Growth: alloc.GrowFixedChunk, ChunkSlots: 16,
+		}},
+		General: cappedGeneral(),
+	}
+	part, err := rep.Partition(ct, cfg, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !part.SharesGeneralLayer() {
+		t.Fatal("DRAM fixed pool not flagged as sharing the general layer")
+	}
+	run, ok := rep.PoolReplay(part, cfg, h)
+	if !ok || run.Failures() == 0 {
+		t.Fatalf("standalone replay should record failures (ok=%v)", ok)
+	}
+	if _, ok := rep.Compose(ct, part, run, cfg, h); ok {
+		t.Fatal("Compose accepted a failing run with a fixed pool on the general layer")
+	}
+	if _, ok := rep.RunPartial(ct, part, cfg, h); ok {
+		t.Fatal("RunPartial accepted a failing run with a fixed pool on the general layer")
+	}
+}
+
+// TestPoolRunComposesAcrossPartitions is the memo-sharing property: two
+// fixed-pool signatures that route requests identically record
+// content-identical fallback sequences, so a PoolRun replayed under one
+// partition composes exactly with the other — the mechanism that turns a
+// decomposable multi-axis delta (fixed axis × general axis) into a
+// no-simulation composition.
+func TestPoolRunComposesAcrossPartitions(t *testing.T) {
+	ct := easyportCompiled(t, 300)
+	h := memhier.EmbeddedSoC()
+	rep := NewReplayer()
+
+	pool := func(order alloc.ListOrder) []alloc.FixedConfig {
+		return []alloc.FixedConfig{{
+			SlotBytes: 74, MatchLo: 74, MatchHi: 74, Layer: memhier.LayerDRAM,
+			Order: order, Links: alloc.SingleLink,
+			Growth: alloc.GrowFixedChunk, ChunkSlots: 512,
+		}}
+	}
+	gen := incrementalConfigs()[0].General
+	cfgA := alloc.Config{Label: "lifo74", Fixed: pool(alloc.LIFO), General: gen}
+	cfgB := alloc.Config{Label: "fifo74", Fixed: pool(alloc.FIFO), General: gen}
+
+	partA, err := rep.Partition(ct, cfgA, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partB, err := rep.Partition(ct, cfgB, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Routing is a pure function of the match ranges, so the recorded
+	// sequences must agree — the premise of cross-partition memo sharing.
+	if partA.OpsHash() != partB.OpsHash() {
+		t.Fatalf("routing-identical signatures hash differently: %016x vs %016x",
+			partA.OpsHash(), partB.OpsHash())
+	}
+	runA, ok := rep.PoolReplay(partA, cfgA, h)
+	if !ok {
+		t.Fatal("PoolReplay declined")
+	}
+	if !runA.MatchesOps(partB) {
+		t.Fatal("run recorded under signature A does not match signature B's ops")
+	}
+	full, err := rep.Run(ct, cfgB, h, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := rep.Compose(ct, partB, runA, cfgB, h)
+	if !ok {
+		t.Fatal("cross-partition Compose declined")
+	}
+	if math.Float64bits(got.EnergyNJ) != math.Float64bits(full.EnergyNJ) {
+		t.Errorf("energy bits diverge: %v vs %v", got.EnergyNJ, full.EnergyNJ)
+	}
+	if !reflect.DeepEqual(got, full) {
+		t.Errorf("cross-partition composition diverges:\n  composed %+v\n  full     %+v", got, full)
+	}
+}
+
 // TestReplayerResetReuse exercises the exported Reset path: a warmed
 // Replayer reused across traces of different ID-space sizes must behave
 // like a fresh one.

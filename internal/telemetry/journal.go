@@ -27,9 +27,12 @@ type Record struct {
 
 	// Incremental is set when the configuration was evaluated by the
 	// partial-replay path; EventsSkipped is how many trace events that
-	// avoided re-simulating versus a full replay.
+	// avoided re-simulating versus a full replay. Composed marks the
+	// evaluations served by the pool-run memo: a cached standalone
+	// general-pool run composed with the partition, no simulation at all.
 	Incremental   bool   `json:"incremental,omitempty"`
 	EventsSkipped uint64 `json:"events_skipped,omitempty"`
+	Composed      bool   `json:"composed,omitempty"`
 
 	// Predicted holds the surrogate's per-objective predictions made when
 	// this configuration was submitted for exact evaluation — the pairs
@@ -150,6 +153,7 @@ type JournalDigest struct {
 	CacheHits   int
 	MemoHits    int
 	Incremental int // records served by the partial-replay path
+	Composed    int // of Incremental: served by the pool-run memo (no sim)
 	Predicted   int // records carrying surrogate predictions
 	Errors      int
 	Infeasible  int     // records with allocation failures
@@ -170,6 +174,9 @@ func Digest(recs []Record) JournalDigest {
 		}
 		if r.Incremental {
 			d.Incremental++
+		}
+		if r.Composed {
+			d.Composed++
 		}
 		if len(r.Predicted) > 0 {
 			d.Predicted++

@@ -19,6 +19,8 @@ func TestJournalRoundTrip(t *testing.T) {
 		{Index: 1, CacheHit: true, DurationMS: 0.01, Accesses: 100},
 		{Index: 2, Error: "configuration 2 [best lifo]: boom", DurationMS: 0.2},
 		{Index: 3, MemoHit: true, Failures: 4},
+		{Index: 4, Incremental: true, EventsSkipped: 900, DurationMS: 0.4},
+		{Index: 5, Incremental: true, Composed: true, EventsSkipped: 1200, DurationMS: 0.05},
 	}
 	for _, r := range recs {
 		if err := j.Record(r); err != nil {
@@ -50,10 +52,16 @@ func TestJournalRoundTrip(t *testing.T) {
 	if !got[1].CacheHit || got[2].Error == "" || !got[3].MemoHit {
 		t.Fatalf("flags lost: %+v", got[1:])
 	}
+	if !got[4].Incremental || got[4].Composed || !got[5].Composed {
+		t.Fatalf("incremental flags lost: %+v", got[4:])
+	}
 
 	d := Digest(got)
-	if d.Records != 4 || d.CacheHits != 1 || d.MemoHits != 1 || d.Errors != 1 || d.Infeasible != 1 {
+	if d.Records != 6 || d.CacheHits != 1 || d.MemoHits != 1 || d.Errors != 1 || d.Infeasible != 1 {
 		t.Fatalf("digest: %+v", d)
+	}
+	if d.Incremental != 2 || d.Composed != 1 {
+		t.Fatalf("incremental digest: %+v", d)
 	}
 	if d.MaxIndex != 0 || d.MaxMS != 1.5 {
 		t.Fatalf("slowest: %+v", d)

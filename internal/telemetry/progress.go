@@ -68,8 +68,11 @@ func (p *Progress) Update(done, total int) {
 		if s.CacheHits+s.CacheMisses > 0 {
 			line += fmt.Sprintf("  cache %.0f%%", 100*s.CacheHitRate())
 		}
-		if s.PartialSims > 0 {
-			line += fmt.Sprintf("  partial %.0f%%", 100*s.PartialSimRate())
+		if s.PartialSims > 0 || s.ComposedEvals > 0 {
+			// Evaluation split: memo compositions / partial sims / full
+			// sims — where the incremental machinery is saving work.
+			line += fmt.Sprintf("  memo/part/full %d/%d/%d",
+				s.ComposedEvals, s.PartialSims, s.Sims-s.PartialSims)
 		}
 	}
 	p.mu.Lock()

@@ -27,6 +27,7 @@ import (
 //	dmexplore_partial_sims_total            PartialSims
 //	dmexplore_events_skipped_total          EventsSkipped
 //	dmexplore_partition_builds_total        PartitionBuilds
+//	dmexplore_composed_evals_total          ComposedEvals
 //	dmexplore_cache_hits_total              CacheHits
 //	dmexplore_cache_misses_total            CacheMisses
 //	dmexplore_cache_stale_total             CacheStale
@@ -65,6 +66,7 @@ func WritePrometheus(w io.Writer, s Snapshot, stages []span.StageSnapshot) error
 	counter("dmexplore_partial_sims_total", "Simulations served by the incremental partial-replay path.", s.PartialSims)
 	counter("dmexplore_events_skipped_total", "Trace events partial sims avoided replaying.", s.EventsSkipped)
 	counter("dmexplore_partition_builds_total", "Invariant-partition replays (one per fixed-pool signature).", s.PartitionBuilds)
+	counter("dmexplore_composed_evals_total", "Evaluations composed from the pool-run memo (no simulation).", s.ComposedEvals)
 	counter("dmexplore_cache_hits_total", "Configurations served from the results cache.", s.CacheHits)
 	counter("dmexplore_cache_misses_total", "Results-cache lookups that found nothing.", s.CacheMisses)
 	counter("dmexplore_cache_stale_total", "Stale results-cache entries dropped or superseded.", s.CacheStale)

@@ -42,6 +42,7 @@ const (
 	StageFullSim                      // full replay simulation of one config
 	StageCacheProbe                   // results-cache lookup for one config
 	StageJournalFlush                 // flushing the JSONL journal to disk
+	StageCompose                      // memoized pool-run composition of one config (no sim)
 
 	NumStages int = iota
 )
@@ -58,6 +59,7 @@ var stageNames = [NumStages]string{
 	StageFullSim:         "full-sim",
 	StageCacheProbe:      "cache-probe",
 	StageJournalFlush:    "journal-flush",
+	StageCompose:         "compose",
 }
 
 // String returns the stage's stable wire name.

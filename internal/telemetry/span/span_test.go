@@ -140,6 +140,7 @@ func TestStageNamesStable(t *testing.T) {
 		"log-ingest", "trace-ingest", "block-decode", "compile",
 		"partition-build", "batch-wave", "surrogate-screen",
 		"partial-sim", "full-sim", "cache-probe", "journal-flush",
+		"compose",
 	}
 	stages := Stages()
 	if len(stages) != len(want) {

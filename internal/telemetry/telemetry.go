@@ -33,6 +33,7 @@ type Shard struct {
 	partialSims     atomic.Uint64 // sims served by the incremental partial path
 	eventsSkipped   atomic.Uint64 // trace events partial sims avoided replaying
 	partitionBuilds atomic.Uint64 // invariant-partition replays (one per signature)
+	composedEvals   atomic.Uint64 // evaluations composed from the pool-run memo (no sim)
 
 	cacheHits   atomic.Uint64 // configurations served from the results cache
 	cacheMisses atomic.Uint64 // cache consulted, configuration not present
@@ -83,6 +84,16 @@ func (s *Shard) ObservePartitionBuild(d time.Duration, events int) {
 	s.simNanos.Add(ns)
 	s.events.Add(uint64(events))
 	s.latency[stats.Log2Bucket(ns)].Add(1)
+}
+
+// ObserveCompose records one evaluation served by composing a memoized
+// standalone general-pool run with its partition — a pool-run memo hit.
+// No simulation executed, so it does not count as a sim; skipped is the
+// full trace event count the composition avoided replaying.
+func (s *Shard) ObserveCompose(d time.Duration, skipped int) {
+	_ = d // composition is sub-histogram-resolution; busy time captures it
+	s.composedEvals.Add(1)
+	s.eventsSkipped.Add(uint64(skipped))
 }
 
 // CacheHit records a configuration served from the results cache.
@@ -177,10 +188,13 @@ type Snapshot struct {
 	// Incremental-evaluation breakdown: PartialSims of Sims were served
 	// by the partial-replay path, skipping EventsSkipped trace events;
 	// PartitionBuilds is the number of once-per-signature invariant
-	// replays paid to enable them.
+	// replays paid to enable them. ComposedEvals are evaluations served
+	// by the pool-run memo — pure composition, no simulation — and are
+	// counted in Done() but not in Sims.
 	PartialSims     uint64 `json:"partial_sims,omitempty"`
 	EventsSkipped   uint64 `json:"events_skipped,omitempty"`
 	PartitionBuilds uint64 `json:"partition_builds,omitempty"`
+	ComposedEvals   uint64 `json:"composed_evals,omitempty"`
 
 	CacheHits   uint64 `json:"cache_hits"`
 	CacheMisses uint64 `json:"cache_misses"`
@@ -234,6 +248,7 @@ func (c *Collector) Snapshot() Snapshot {
 		s.PartialSims += sh.partialSims.Load()
 		s.EventsSkipped += sh.eventsSkipped.Load()
 		s.PartitionBuilds += sh.partitionBuilds.Load()
+		s.ComposedEvals += sh.composedEvals.Load()
 		s.CacheHits += sh.cacheHits.Load()
 		s.CacheMisses += sh.cacheMisses.Load()
 		s.MemoHits += sh.memoHits.Load()
@@ -257,8 +272,10 @@ func (c *Collector) Snapshot() Snapshot {
 }
 
 // Done returns the configurations accounted for so far: executed
-// simulations plus cache- and memo-served ones.
-func (s Snapshot) Done() uint64 { return s.Sims + s.CacheHits + s.MemoHits }
+// simulations plus cache-, memo- and composition-served ones.
+func (s Snapshot) Done() uint64 {
+	return s.Sims + s.CacheHits + s.MemoHits + s.ComposedEvals
+}
 
 // PartialSimRate returns the fraction of executed simulations served by
 // the incremental partial-replay path (0 when nothing ran).
@@ -292,9 +309,12 @@ func (s Snapshot) String() string {
 	if s.MemoHits > 0 {
 		fmt.Fprintf(&b, ", %d memo hits", s.MemoHits)
 	}
-	if s.PartialSims > 0 {
+	if s.PartialSims > 0 || s.ComposedEvals > 0 {
 		fmt.Fprintf(&b, ", %.0f%% partial sims (%d partitions, %.3g events skipped)",
 			100*s.PartialSimRate(), s.PartitionBuilds, float64(s.EventsSkipped))
+	}
+	if s.ComposedEvals > 0 {
+		fmt.Fprintf(&b, ", %d composed (memo)", s.ComposedEvals)
 	}
 	if s.SurrogatePredictions > 0 {
 		fmt.Fprintf(&b, ", surrogate scored %d / screened out %d (trained on %d)",
