@@ -63,6 +63,17 @@ bench-parse:
 bench-surrogate:
 	$(GO) run scripts/benchsurrogate.go
 
+# bench-serve gates the distributed exploration service: the same
+# 512-evaluation island-model NSGA-II job (4 islands, 5 ms modelled
+# backend latency per simulation) through the loopback-HTTP coordinator
+# at 1, 2 and 4 single-backend workers against the serial single-process
+# Evolve. Fails if 4 workers deliver below 2.5x the serial effective
+# evals/sec, or any fleet shape diverges (per-island walks and final
+# front must be identical at every worker count). Writes BENCH_serve.json.
+.PHONY: bench-serve
+bench-serve:
+	$(GO) run scripts/benchserve.go
+
 # fuzz-smoke runs each native fuzz target for a few seconds — enough to
 # execute the seed corpus plus a short mutation run on every decoder.
 .PHONY: fuzz-smoke

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -18,6 +19,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -28,6 +30,7 @@ import (
 	"dmexplore/internal/pareto"
 	"dmexplore/internal/profile"
 	"dmexplore/internal/report"
+	"dmexplore/internal/serve"
 	"dmexplore/internal/telemetry"
 	"dmexplore/internal/telemetry/span"
 	"dmexplore/internal/trace"
@@ -68,9 +71,58 @@ func run(args []string, out io.Writer) error {
 		metricsAddr   = fs.String("metrics-addr", "", "serve Prometheus /metrics, /healthz, expvar and pprof at this address, e.g. localhost:6060")
 		traceOut      = fs.String("trace-out", "", "write the pipeline flight recorder as Chrome trace-event JSON (load in Perfetto) to this file")
 		evalLatency   = fs.Duration("eval-latency", 0, "model a per-simulation backend latency, e.g. 2ms (cache/memo hits skip it)")
+		poolMemoPath  = fs.String("pool-memo", "", "pool-run memo file: persist the incremental general-pool replay memo across invocations")
+		submitURL     = fs.String("submit", "", "submit the job to a dmserve coordinator at this URL and follow its journal instead of running locally")
+		islands       = fs.Int("islands", 1, "submit mode, evolve strategy: NSGA-II islands (shards), exchanging front members through the coordinator")
+		migrateEvery  = fs.Int("migrate-every", 0, "submit mode: generations between migrations (0 = default)")
+		migrateK      = fs.Int("migrate-k", 0, "submit mode: immigrants per migration (0 = population/4)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if err := validateFlags(fs); err != nil {
+		return err
+	}
+
+	if *submitURL != "" {
+		spec := serve.JobSpec{
+			Workload:      *workloadName,
+			WorkloadSeed:  *seed,
+			Scale:         *scale,
+			Space:         *spaceKind,
+			Hierarchy:     *hierName,
+			Objectives:    splitObjectives(*objectives),
+			Incremental:   *incremental,
+			EvalLatencyMS: float64(*evalLatency) / float64(time.Millisecond),
+		}
+		if *strategy == "evolve" {
+			spec.Strategy = "nsga2"
+			pop := *sample
+			if pop <= 0 {
+				pop = 32
+			}
+			if pop%2 != 0 {
+				pop++
+			}
+			total := *budget
+			if total <= 0 {
+				total = 16 * pop
+			}
+			// dmexplore's -budget is the job total; the spec's budget is
+			// per island, so the fleet spends the same total regardless of
+			// how many islands split it.
+			spec.Population = pop
+			spec.Budget = total / *islands
+			spec.Seed = *sampleSeed
+			spec.Islands = *islands
+			spec.MigrationEvery = *migrateEvery
+			spec.MigrationK = *migrateK
+		} else {
+			spec.Strategy = "sweep"
+			spec.Sample = *sample
+			spec.SampleSeed = *sampleSeed
+		}
+		return runSubmit(out, *submitURL, spec, *outDir)
 	}
 
 	hier, err := pickHierarchy(*hierName)
@@ -140,10 +192,7 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 	}
-	objs := strings.Split(*objectives, ",")
-	for i := range objs {
-		objs[i] = strings.TrimSpace(objs[i])
-	}
+	objs := splitObjectives(*objectives)
 	if len(objs) < 2 {
 		return fmt.Errorf("need at least two objectives, got %q", *objectives)
 	}
@@ -187,8 +236,19 @@ func run(args []string, out io.Writer) error {
 			runner.Surrogate.WarmStart = warm
 			fmt.Fprintf(out, "surrogate  warm start from %s (%d records)\n", *surrogateWarm, len(warm))
 		}
-	} else if *surrogateWarm != "" {
-		return fmt.Errorf("-surrogate-warm requires -surrogate")
+	}
+	if *poolMemoPath != "" {
+		store, err := core.OpenPoolMemoStore(*poolMemoPath, cacheBudgetBytes(*poolMemoMB))
+		if err != nil {
+			return err
+		}
+		runner.PoolMemo = store
+		fmt.Fprintf(out, "pool-memo  %s (%d runs)\n", *poolMemoPath, store.Len())
+		defer func() {
+			if err := store.Save(); err != nil {
+				fmt.Fprintf(out, "warning: saving pool memo: %v\n", err)
+			}
+		}()
 	}
 	if *metricsAddr != "" {
 		srv, err := telemetry.Serve(*metricsAddr, col, spans)
@@ -479,6 +539,138 @@ func run(args []string, out io.Writer) error {
 	}
 	if *traceOut != "" {
 		fmt.Fprintf(out, "trace      %s (load at https://ui.perfetto.dev or chrome://tracing)\n", *traceOut)
+	}
+	return nil
+}
+
+// validateFlags rejects contradictory flag combinations up front with an
+// error naming the conflict, instead of silently ignoring one side.
+// Only flags the user explicitly set (fs.Visit) count — defaults never
+// conflict.
+func validateFlags(fs *flag.FlagSet) error {
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	val := func(name string) string { return fs.Lookup(name).Value.String() }
+	on := func(name string) bool { return val(name) == "true" }
+
+	if set["surrogate-warm"] && !on("surrogate") {
+		return fmt.Errorf("-surrogate-warm requires -surrogate")
+	}
+	if set["pool-memo"] && !on("incremental") {
+		return fmt.Errorf("-pool-memo requires -incremental (the memo stores incremental general-pool replays)")
+	}
+	for _, name := range []string{"partition-cache-mb", "pool-memo-mb"} {
+		if set[name] && !on("incremental") {
+			return fmt.Errorf("-%s only applies with -incremental", name)
+		}
+	}
+	strategy := val("strategy")
+	if set["budget"] && strategy == "exhaustive" {
+		return fmt.Errorf("-budget has no effect with -strategy exhaustive (use screen|evolve|hillclimb|anneal)")
+	}
+	if set["sample"] && (strategy == "hillclimb" || strategy == "anneal") {
+		return fmt.Errorf("-sample is not used by -strategy %s (its budget is -budget)", strategy)
+	}
+	if d, err := time.ParseDuration(val("eval-latency")); err == nil && d < 0 {
+		return fmt.Errorf("-eval-latency must be >= 0, got %v", d)
+	}
+	seen := map[string]bool{}
+	for _, obj := range splitObjectives(val("objectives")) {
+		if seen[obj] {
+			return fmt.Errorf("duplicate objective %q in -objectives", obj)
+		}
+		seen[obj] = true
+	}
+	if set["submit"] {
+		for _, name := range []string{"trace", "spacefile", "cache", "surrogate", "surrogate-warm", "metrics-addr", "trace-out", "pool-memo", "workers"} {
+			if set[name] {
+				return fmt.Errorf("-%s is local-only and cannot be combined with -submit", name)
+			}
+		}
+		if strategy != "exhaustive" && strategy != "evolve" {
+			return fmt.Errorf("-submit supports -strategy exhaustive|evolve, not %q", strategy)
+		}
+		if val("space") == "auto" {
+			return fmt.Errorf("-space auto is local-only; submitted jobs name a fixed space (narrow|full)")
+		}
+		if set["islands"] {
+			if n, err := strconv.Atoi(val("islands")); err != nil || n < 1 {
+				return fmt.Errorf("-islands must be >= 1, got %s", val("islands"))
+			}
+			if strategy != "evolve" {
+				return fmt.Errorf("-islands requires -strategy evolve (sweeps shard by index range, not by island)")
+			}
+		}
+	} else {
+		for _, name := range []string{"islands", "migrate-every", "migrate-k"} {
+			if set[name] {
+				return fmt.Errorf("-%s only applies with -submit (local runs are single-island)", name)
+			}
+		}
+	}
+	return nil
+}
+
+// splitObjectives parses the -objectives list.
+func splitObjectives(s string) []string {
+	objs := strings.Split(s, ",")
+	for i := range objs {
+		objs[i] = strings.TrimSpace(objs[i])
+	}
+	return objs
+}
+
+// runSubmit posts the job to a dmserve coordinator, follows its journal
+// (reconnecting across coordinator restarts) and prints the final front.
+// With -out, the streamed records land in journal.jsonl exactly as a
+// local run would write them — plus their shard/island/worker stamps.
+func runSubmit(out io.Writer, base string, spec serve.JobSpec, outDir string) error {
+	client := &serve.Client{Base: base}
+	id, err := client.Submit(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "submitted  job %s to %s (%s on %s/%s)\n", id, base, spec.Strategy, spec.Workload, spec.Space)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	var journal *telemetry.Journal
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+		journal, err = telemetry.CreateJournal(filepath.Join(outDir, "journal.jsonl"))
+		if err != nil {
+			return err
+		}
+		defer journal.Close()
+	}
+	start := time.Now()
+	st, err := client.FollowJournal(ctx, id, 0, func(rec telemetry.Record) {
+		if journal != nil {
+			_ = journal.Record(rec)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if st.State == "failed" {
+		return fmt.Errorf("job %s failed: %s", id, st.Error)
+	}
+	fmt.Fprintf(out, "job %s done in %v: %d configurations, %d journal records\n",
+		id, time.Since(start).Round(time.Millisecond), st.Results, st.Records)
+	fmt.Fprintf(out, "\nPareto-optimal configurations: %d\n", len(st.Front))
+	for _, p := range st.Front {
+		fmt.Fprintf(out, "  #%-6d %-60s", p.Index, strings.Join(p.Labels, ","))
+		for i, obj := range spec.Objectives {
+			if i < len(p.Values) {
+				fmt.Fprintf(out, " %s=%.4g", obj, p.Values[i])
+			}
+		}
+		fmt.Fprintln(out)
+	}
+	if journal != nil {
+		fmt.Fprintf(out, "\njournal written to %s\n", filepath.Join(outDir, "journal.jsonl"))
 	}
 	return nil
 }

@@ -2,7 +2,9 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"io"
+	"net/http/httptest"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -10,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"dmexplore/internal/serve"
 	"dmexplore/internal/telemetry"
 	"dmexplore/internal/telemetry/span"
 )
@@ -417,5 +420,135 @@ func TestRunHillClimbAndAnnealStrategies(t *testing.T) {
 		if !strings.Contains(s, "Pareto-optimal configurations:") {
 			t.Fatalf("%s output missing front summary:\n%s", strategy, s)
 		}
+	}
+}
+
+func TestValidateFlagRejectsContradictions(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"surrogate-warm alone", []string{"-surrogate-warm", "j.jsonl"}, "-surrogate-warm requires -surrogate"},
+		{"pool-memo alone", []string{"-pool-memo", "m.jsonl"}, "-pool-memo requires -incremental"},
+		{"partition budget alone", []string{"-partition-cache-mb", "64"}, "-partition-cache-mb only applies with -incremental"},
+		{"pool memo budget alone", []string{"-pool-memo-mb", "64"}, "-pool-memo-mb only applies with -incremental"},
+		{"budget on exhaustive", []string{"-budget", "100"}, "-budget has no effect with -strategy exhaustive"},
+		{"sample on hillclimb", []string{"-strategy", "hillclimb", "-sample", "10"}, "-sample is not used"},
+		{"negative latency", []string{"-eval-latency", "-5ms"}, "-eval-latency must be >= 0"},
+		{"duplicate objectives", []string{"-objectives", "accesses,accesses"}, "duplicate objective"},
+		{"islands without submit", []string{"-strategy", "evolve", "-islands", "4"}, "-islands only applies with -submit"},
+		{"migrate-every without submit", []string{"-strategy", "evolve", "-migrate-every", "2"}, "-migrate-every only applies with -submit"},
+		{"submit with cache", []string{"-submit", "http://x", "-cache", "c.jsonl"}, "-cache is local-only"},
+		{"submit with surrogate", []string{"-submit", "http://x", "-strategy", "evolve", "-surrogate"}, "-surrogate is local-only"},
+		{"submit with trace", []string{"-submit", "http://x", "-trace", "t.bin"}, "-trace is local-only"},
+		{"submit with guided local strategy", []string{"-submit", "http://x", "-strategy", "anneal"}, "-submit supports -strategy exhaustive|evolve"},
+		{"submit with auto space", []string{"-submit", "http://x", "-space", "auto"}, "-space auto is local-only"},
+		{"islands on submitted sweep", []string{"-submit", "http://x", "-islands", "4"}, "-islands requires -strategy evolve"},
+		{"zero islands", []string{"-submit", "http://x", "-strategy", "evolve", "-islands", "0"}, "-islands must be >= 1"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := run(c.args, io.Discard)
+			if err == nil {
+				t.Fatalf("args %v accepted", c.args)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("args %v: error %q, want it to mention %q", c.args, err, c.want)
+			}
+		})
+	}
+}
+
+// TestRunPoolMemoPersists runs the same incremental sweep twice sharing
+// a -pool-memo file: the second invocation must load the first's runs.
+func TestRunPoolMemoPersists(t *testing.T) {
+	memo := filepath.Join(t.TempDir(), "memo.jsonl")
+	args := []string{
+		"-workload", "easyport", "-scale", "5", "-quiet",
+		"-sample", "32", "-incremental", "-pool-memo", memo,
+	}
+	var first bytes.Buffer
+	if err := run(args, &first); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(first.String(), "pool-memo  "+memo+" (0 runs)") {
+		t.Fatalf("first run did not start from an empty memo:\n%s", first.String())
+	}
+	if _, err := os.Stat(memo); err != nil {
+		t.Fatalf("first run saved no memo: %v", err)
+	}
+	var second bytes.Buffer
+	if err := run(args, &second); err != nil {
+		t.Fatal(err)
+	}
+	s := second.String()
+	if strings.Contains(s, "(0 runs)") || !strings.Contains(s, "pool-memo  "+memo) {
+		t.Fatalf("second run did not load the persisted memo:\n%s", s)
+	}
+}
+
+// TestRunSubmitMode drives the full service path through the CLI: an
+// in-process coordinator and worker, a submitted island search, the
+// followed journal written to -out.
+func TestRunSubmitMode(t *testing.T) {
+	coord, err := serve.NewCoordinator(serve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	workerDone := make(chan struct{})
+	w := &serve.Worker{Coordinator: srv.URL, ID: "cli-test", Slots: 2, SessionWorkers: 2, Poll: 10 * time.Millisecond}
+	go func() {
+		defer close(workerDone)
+		_ = w.Run(ctx)
+	}()
+	defer func() {
+		cancel()
+		<-workerDone
+	}()
+
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err = run([]string{
+		"-submit", srv.URL, "-strategy", "evolve",
+		"-workload", "easyport", "-scale", "5",
+		"-sample", "8", "-budget", "64", "-sample-seed", "11",
+		"-islands", "2", "-migrate-every", "2",
+		"-out", dir, "-quiet",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"submitted  job", "done in", "Pareto-optimal configurations:"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("submit output missing %q:\n%s", want, s)
+		}
+	}
+	jf, err := os.Open(filepath.Join(dir, "journal.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := telemetry.ReadJournal(jf)
+	jf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("followed journal is empty")
+	}
+	islands := map[int]bool{}
+	for _, rec := range recs {
+		if rec.Worker != "cli-test" {
+			t.Fatalf("record missing worker stamp: %+v", rec)
+		}
+		islands[rec.Island] = true
+	}
+	if !islands[1] || !islands[2] {
+		t.Fatalf("journal missing island stamps: %v", islands)
 	}
 }

@@ -1,0 +1,54 @@
+// Command dmworker is one evaluation process of the distributed
+// exploration service. It polls a dmserve coordinator for shard leases,
+// evaluates them on the unchanged single-process stack and streams
+// results back as they complete. Run as many as the fleet needs —
+// workers are stateless; killing one only delays its shards until the
+// lease expires and another worker steals them.
+//
+// Example:
+//
+//	dmworker -coordinator http://localhost:8710 -slots 2
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"dmexplore/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil && err != context.Canceled {
+		fmt.Fprintln(os.Stderr, "dmworker:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dmworker", flag.ContinueOnError)
+	var (
+		coordinator = fs.String("coordinator", "http://localhost:8710", "coordinator base URL")
+		id          = fs.String("id", "", "worker name in leases and journal records (default w<pid>)")
+		slots       = fs.Int("slots", 1, "shards evaluated concurrently (island jobs need islands <= fleet's summed slots)")
+		sessWorkers = fs.Int("session-workers", 0, "parallel simulations per job session (0 = GOMAXPROCS)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	w := &serve.Worker{
+		Coordinator:    *coordinator,
+		ID:             *id,
+		Slots:          *slots,
+		SessionWorkers: *sessWorkers,
+	}
+	fmt.Printf("dmworker: polling %s (slots %d)\n", *coordinator, *slots)
+	return w.Run(ctx)
+}

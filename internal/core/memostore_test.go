@@ -1,0 +1,215 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"dmexplore/internal/profile"
+	"dmexplore/internal/simheap"
+)
+
+// storeRun builds a shape-valid pool run of n ops through the same
+// serialized form the store itself round-trips.
+func storeRun(t *testing.T, n int) *profile.PoolRun {
+	t.Helper()
+	st := profile.PoolRunState{
+		Ops:      make([]int64, n),
+		GAfter:   make([]int64, n+1),
+		Counters: []simheap.LayerCounters{{Reads: uint64(n), Writes: 2 * uint64(n), PeakBytes: int64(n) * 64}},
+		Cycles:   uint64(n) * 10,
+	}
+	for i := range st.Ops {
+		st.Ops[i] = int64(64 * (i + 1))
+		st.GAfter[i+1] = st.GAfter[i] + st.Ops[i]
+	}
+	run := profile.PoolRunFromState(st)
+	if run == nil {
+		t.Fatal("storeRun built an invalid state")
+	}
+	return run
+}
+
+func TestPoolMemoStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "memo.jsonl")
+	st, err := OpenPoolMemoStore(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := storeRun(t, 8), storeRun(t, 20)
+	st.Put("ka", a)
+	st.Put("kb", b)
+	if _, ok := st.Get("missing"); ok {
+		t.Fatal("phantom hit")
+	}
+	if err := st.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenPoolMemoStore(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 2 {
+		t.Fatalf("reloaded %d entries, want 2", re.Len())
+	}
+	if s := re.Stats(); s.Loaded != 2 || s.Stale != 0 {
+		t.Fatalf("reload stats %+v", s)
+	}
+	for key, want := range map[string]*profile.PoolRun{"ka": a, "kb": b} {
+		got, ok := re.Get(key)
+		if !ok {
+			t.Fatalf("key %s lost across save/load", key)
+		}
+		if !reflect.DeepEqual(got.State(), want.State()) {
+			t.Fatalf("key %s run diverged across save/load", key)
+		}
+	}
+	if s := re.Stats(); s.Hits != 2 {
+		t.Fatalf("hit accounting %+v", s)
+	}
+}
+
+func TestPoolMemoStoreStaleVersionPurged(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "memo.jsonl")
+	good := storeRun(t, 4).State()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One entry from a hypothetical older schema, one current, one with
+	// an impossible shape under the current version.
+	fmt.Fprintf(f, `{"v":0,"key":"old","run":{"ops":[64],"g_after":[0,64]}}`+"\n")
+	fmt.Fprintf(f, `{"v":1,"key":"cur","run":{"ops":%s,"g_after":%s,"counters":%s,"cycles":%d}}`+"\n",
+		mustJSON(t, good.Ops), mustJSON(t, good.GAfter), mustJSON(t, good.Counters), good.Cycles)
+	fmt.Fprintf(f, `{"v":1,"key":"bad","run":{"ops":[64,128],"g_after":[0]}}`+"\n")
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := OpenPoolMemoStore(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 1 {
+		t.Fatalf("kept %d entries, want only the current-version one", st.Len())
+	}
+	if s := st.Stats(); s.Stale != 2 {
+		t.Fatalf("stale accounting %+v, want 2", s)
+	}
+	if _, ok := st.Get("cur"); !ok {
+		t.Fatal("current-version entry lost")
+	}
+	// Dropping stale entries marks the store dirty: Save rewrites, and
+	// the rewritten file reloads clean.
+	if err := st.Save(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenPoolMemoStore(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := re.Stats(); s.Stale != 0 || s.Loaded != 1 {
+		t.Fatalf("rewritten file still carries stale entries: %+v", s)
+	}
+}
+
+func TestPoolMemoStoreBudgetEviction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "memo.jsonl")
+	big := storeRun(t, 256)
+	budget := 2*poolMemoEntryBytes(big) + poolMemoEntryBytes(big)/2 // fits two
+	st, err := OpenPoolMemoStore(path, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Put("k1", storeRun(t, 256))
+	st.Put("k2", storeRun(t, 256))
+	st.Put("k3", storeRun(t, 256))
+	if st.Len() != 2 {
+		t.Fatalf("retained %d entries under a two-entry budget", st.Len())
+	}
+	if _, ok := st.Get("k1"); ok {
+		t.Fatal("oldest entry survived eviction")
+	}
+	if s := st.Stats(); s.Dropped != 1 || s.Bytes > budget {
+		t.Fatalf("eviction stats %+v (budget %d)", s, budget)
+	}
+	if err := st.Save(); err != nil {
+		t.Fatal(err)
+	}
+	// Reload under the same budget keeps the same survivors (oldest-first
+	// file order).
+	re, err := OpenPoolMemoStore(path, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 2 {
+		t.Fatalf("reload retained %d", re.Len())
+	}
+	for _, key := range []string{"k2", "k3"} {
+		if _, ok := re.Get(key); !ok {
+			t.Fatalf("survivor %s lost on reload", key)
+		}
+	}
+}
+
+// TestPoolMemoStoreComposesAcrossSessions is the core contract:
+// a store saved by one tool invocation serves composed evaluations in
+// the next, bit-identical to the full path.
+func TestPoolMemoStoreComposesAcrossSessions(t *testing.T) {
+	space := EasyportSpace()
+	full, err := easyportRunner(t, false).Sample(space, 48, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "memo.jsonl")
+	first, err := OpenPoolMemoStore(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := easyportRunner(t, true)
+	r1.PoolMemo = first
+	warm, err := r1.Sample(space, 48, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsIdentical(t, "memo-record", full, warm)
+	if first.Len() == 0 {
+		t.Fatal("first run recorded no pool runs")
+	}
+	if err := first.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	second, err := OpenPoolMemoStore(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := easyportRunner(t, true)
+	r2.PoolMemo = second
+	reuse, err := r2.Sample(space, 48, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsIdentical(t, "memo-reuse", full, reuse)
+	if s := second.Stats(); s.Hits == 0 {
+		t.Fatalf("second invocation never hit the persisted memo: %+v", s)
+	}
+	if composed := countComposed(reuse); composed <= countComposed(warm) {
+		t.Fatalf("persisted memo composed %d evals, cold run composed %d — no cross-invocation gain",
+			composed, countComposed(warm))
+	}
+}
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

@@ -24,144 +24,13 @@ import (
 // worker pool (duplicates and already-profiled genomes deduplicated by
 // the batcher). All randomness stays on the coordinating goroutine, so a
 // given seed yields the identical run for any worker count.
+//
+// Evolve is the 1-island degenerate case of the island model (see
+// EvolveIsland): island 0, no migration hook. The island path with those
+// options takes literally this code path, which is what makes the
+// distributed service's 1-island runs bit-identical to serial searches.
 func (r *Runner) Evolve(space *Space, objectives []string, opts EvolveOptions) ([]Result, error) {
-	if err := space.Validate(); err != nil {
-		return nil, err
-	}
-	if len(objectives) < 2 {
-		return nil, fmt.Errorf("core: evolve needs at least two objectives")
-	}
-	opts = opts.withDefaults()
-	if opts.Population < 4 || opts.Population%2 != 0 {
-		return nil, fmt.Errorf("core: population %d must be an even number >= 4", opts.Population)
-	}
-	if opts.Budget < opts.Population {
-		return nil, fmt.Errorf("core: budget %d below population %d", opts.Budget, opts.Population)
-	}
-
-	sess, err := r.NewSession(space)
-	if err != nil {
-		return nil, err
-	}
-	defer sess.Close()
-	batcher := newEvalBatcher(sess)
-	batcher.strategy = "nsga2"
-	rng := stats.NewRNG(opts.Seed)
-	sur := r.newSurrogate(sess, equalWeights(objectives))
-	sur.paretoRank()
-	sur.attach(batcher)
-	defer sur.finish()
-
-	// Initial population: uniform random genomes, one evaluation wave.
-	pop := make([]int, 0, opts.Population)
-	seen := make(map[int]bool)
-	for len(pop) < opts.Population {
-		idx := rng.Intn(space.Size())
-		if seen[idx] && len(seen) < space.Size() {
-			continue
-		}
-		seen[idx] = true
-		pop = append(pop, idx)
-	}
-	for _, idx := range pop {
-		batcher.tag(idx, "seed")
-	}
-	if _, err := batcher.getBatch(pop); err != nil {
-		return nil, err
-	}
-
-	dryGenerations := 0
-	for batcher.len() < opts.Budget && batcher.len() < space.Size() {
-		evalsBefore := batcher.len()
-		// Offspring via binary tournaments, crossover, mutation.
-		ranks, crowd, err := rankAndCrowd(batcher, pop, objectives)
-		if err != nil {
-			return nil, err
-		}
-		var offspring []int
-		remaining := opts.Budget - batcher.len()
-		if sur != nil {
-			// Surrogate path: breed an oversampled candidate wave, let the
-			// already-profiled genomes through for free, and screen the
-			// unseen ones down to at most one generation of real
-			// simulations — the models pre-filter the offspring before the
-			// batcher ever sees them.
-			cands := make([]int, 0, surrogateOversample*opts.Population)
-			for len(cands) < surrogateOversample*opts.Population {
-				a := tournament(rng, pop, ranks, crowd)
-				b := tournament(rng, pop, ranks, crowd)
-				child := mutate(rng, space, crossover(rng, space, a, b), opts.MutationRate)
-				batcher.tag(child, "crossover", a, b)
-				cands = append(cands, child)
-			}
-			cands = dedupInts(cands)
-			var unseen []int
-			for _, c := range cands {
-				if batcher.has(c) {
-					offspring = append(offspring, c)
-				} else {
-					unseen = append(unseen, c)
-				}
-			}
-			k := opts.Population
-			if k > remaining {
-				k = remaining
-			}
-			offspring = append(offspring, sur.screen(unseen, k)...)
-		} else {
-			offspring = make([]int, 0, opts.Population)
-			newEvals := 0
-			for len(offspring) < opts.Population && newEvals < remaining {
-				a := tournament(rng, pop, ranks, crowd)
-				b := tournament(rng, pop, ranks, crowd)
-				child := crossover(rng, space, a, b)
-				child = mutate(rng, space, child, opts.MutationRate)
-				if !batcher.has(child) {
-					newEvals++
-				}
-				batcher.tag(child, "crossover", a, b)
-				offspring = append(offspring, child)
-			}
-		}
-		// One wave for the whole generation — including offspring that
-		// environmental selection will discard; they still join the
-		// result set and the journal.
-		if _, err := batcher.getBatch(offspring); err != nil {
-			return nil, err
-		}
-
-		// Environmental selection over parents + offspring.
-		union := append(append([]int(nil), pop...), offspring...)
-		union = dedupInts(union)
-		ranks, crowd, err = rankAndCrowd(batcher, union, objectives)
-		if err != nil {
-			return nil, err
-		}
-		sort.SliceStable(union, func(i, j int) bool {
-			a, b := union[i], union[j]
-			if ranks[a] != ranks[b] {
-				return ranks[a] < ranks[b]
-			}
-			return crowd[a] > crowd[b]
-		})
-		if len(union) > opts.Population {
-			union = union[:opts.Population]
-		}
-		pop = union
-
-		if batcher.len() == evalsBefore {
-			// No unseen configuration this generation: converged (or a
-			// small space is nearly saturated). Allow a few dry
-			// generations before giving up — mutation may still escape.
-			dryGenerations++
-			if dryGenerations >= 3 {
-				break
-			}
-		} else {
-			dryGenerations = 0
-		}
-	}
-	return batcher.all(), nil
+	return r.EvolveIsland(space, objectives, IslandOptions{EvolveOptions: opts})
 }
 
 // EvolveOptions tune the evolutionary search.

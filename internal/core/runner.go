@@ -156,6 +156,14 @@ type Runner struct {
 	// way: 0 uses DefaultPoolMemoBudgetBytes, negative is unbounded.
 	PoolMemoBudgetBytes int64
 
+	// PoolMemo, when non-nil, persists the pool-run memo across tool
+	// invocations (see PoolMemoStore): sessions consult it before running
+	// a standalone general-pool replay and record every run they build.
+	// A store hit composes with zero simulation, exactly like an
+	// in-session memo hit (Result.Composed). Only consulted when
+	// Incremental is enabled.
+	PoolMemo *PoolMemoStore
+
 	// Surrogate, when non-nil, enables surrogate-assisted candidate
 	// screening in the guided search strategies (HillClimb, Anneal,
 	// ScreenAndRefine, Evolve): online per-objective models trained from

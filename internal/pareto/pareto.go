@@ -223,3 +223,25 @@ func Knee(front []Point) int {
 	}
 	return best
 }
+
+// MergeFronts reduces per-island (or per-shard) fronts to the global
+// Pareto front of their union — the coordinator's migration merge. Tags
+// deduplicate across inputs (islands commonly rediscover the same
+// configuration; the first occurrence wins), then one Front pass over
+// the union extracts the survivors. Output order is Front's
+// deterministic order, so the merge is a pure function of the input
+// fronts regardless of which island reported first.
+func MergeFronts(fronts ...[]Point) []Point {
+	var union []Point
+	seen := make(map[string]bool)
+	for _, f := range fronts {
+		for _, p := range f {
+			if seen[p.Tag] {
+				continue
+			}
+			seen[p.Tag] = true
+			union = append(union, p)
+		}
+	}
+	return Front(union)
+}

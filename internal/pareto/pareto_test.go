@@ -361,3 +361,44 @@ func TestFrontNDComparisonBound(t *testing.T) {
 			comparisons, n, f, bound)
 	}
 }
+
+func TestMergeFronts(t *testing.T) {
+	a := []Point{pt("1", 1, 10), pt("2", 5, 5)}
+	b := []Point{pt("3", 10, 1), pt("4", 6, 6)} // 4 dominated by 2
+	c := []Point{pt("2", 5, 5), pt("5", 2, 9)}  // 2 duplicates island a's export
+
+	merged := MergeFronts(a, b, c)
+	want := map[string]bool{"1": true, "2": true, "3": true, "5": true}
+	if len(merged) != len(want) {
+		t.Fatalf("merged front has %d members: %v", len(merged), merged)
+	}
+	seen := map[string]int{}
+	for _, p := range merged {
+		if !want[p.Tag] {
+			t.Fatalf("dominated or unknown tag %q survived the merge", p.Tag)
+		}
+		seen[p.Tag]++
+		if seen[p.Tag] > 1 {
+			t.Fatalf("tag %q duplicated in merged front", p.Tag)
+		}
+	}
+
+	// Deterministic regardless of reporting order.
+	again := MergeFronts(c, b, a)
+	if len(again) != len(merged) {
+		t.Fatalf("merge is order-sensitive: %d vs %d members", len(again), len(merged))
+	}
+	got := map[string]bool{}
+	for _, p := range again {
+		got[p.Tag] = true
+	}
+	for tag := range want {
+		if !got[tag] {
+			t.Fatalf("tag %q lost when islands report in a different order", tag)
+		}
+	}
+
+	if out := MergeFronts(); out != nil && len(out) != 0 {
+		t.Fatalf("empty merge returned %v", out)
+	}
+}

@@ -574,3 +574,53 @@ func hashOps(ops []int64) uint64 {
 	}
 	return h
 }
+
+// PoolRunState is PoolRun's serializable form, used by the persistent
+// pool-run memo to carry standalone general-pool replays across tool
+// invocations. The memo key (recorded-op content hash + general-pool
+// parameters) is process-independent, and reuse re-verifies the full op
+// sequence against the probing partition (MatchesOps), so a loaded state
+// composes exactly like a freshly built run.
+type PoolRunState struct {
+	Ops          []int64                 `json:"ops"`
+	GAfter       []int64                 `json:"g_after"`
+	Counters     []simheap.LayerCounters `json:"counters"`
+	Cycles       uint64                  `json:"cycles"`
+	Failed       []bool                  `json:"failed,omitempty"`
+	Failures     uint64                  `json:"failures,omitempty"`
+	SkippedFrees uint64                  `json:"skipped_frees,omitempty"`
+}
+
+// State exports the run for persistence.
+func (pr *PoolRun) State() PoolRunState {
+	return PoolRunState{
+		Ops:          pr.ops,
+		GAfter:       pr.gAfter,
+		Counters:     pr.counters,
+		Cycles:       pr.cycles,
+		Failed:       pr.failed,
+		Failures:     pr.failures,
+		SkippedFrees: pr.skippedFrees,
+	}
+}
+
+// PoolRunFromState rebuilds a run from its serialized form. Shape errors
+// (a truncated or hand-edited memo file) return nil rather than a run
+// Compose could misuse.
+func PoolRunFromState(st PoolRunState) *PoolRun {
+	if len(st.GAfter) != len(st.Ops)+1 {
+		return nil
+	}
+	if st.Failed != nil && len(st.Failed) > len(st.Ops) {
+		return nil
+	}
+	return &PoolRun{
+		ops:          st.Ops,
+		gAfter:       st.GAfter,
+		counters:     st.Counters,
+		cycles:       st.Cycles,
+		failed:       st.Failed,
+		failures:     st.Failures,
+		skippedFrees: st.SkippedFrees,
+	}
+}

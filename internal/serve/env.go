@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"dmexplore/internal/core"
+	"dmexplore/internal/memhier"
+	"dmexplore/internal/stats"
+	"dmexplore/internal/telemetry"
+	"dmexplore/internal/trace"
+	"dmexplore/internal/workload"
+)
+
+// ResolveHierarchy maps a spec's hierarchy name to the model, mirroring
+// dmexplore's -hierarchy choices.
+func ResolveHierarchy(name string) (*memhier.Hierarchy, error) {
+	switch name {
+	case "soc":
+		return memhier.EmbeddedSoC(), nil
+	case "soc3":
+		return memhier.EmbeddedSoC3Level(), nil
+	case "flat":
+		return memhier.FlatDRAM(), nil
+	default:
+		return nil, fmt.Errorf("serve: unknown hierarchy %q", name)
+	}
+}
+
+// ResolveSpace maps a spec's (workload, space kind) pair to the
+// configuration space, mirroring dmexplore's -space choices.
+func ResolveSpace(workloadName, kind string) (*core.Space, error) {
+	switch workloadName + "/" + kind {
+	case "easyport/narrow", "synthetic/narrow":
+		return core.EasyportSpace(), nil
+	case "easyport/full", "synthetic/full", "vtc/full":
+		return core.FullEasyportSpace(), nil
+	case "vtc/narrow":
+		return core.VTCSpace(), nil
+	default:
+		return nil, fmt.Errorf("serve: no %s space for workload %s", kind, workloadName)
+	}
+}
+
+// Env is a fully resolved evaluation environment for one job spec: the
+// regenerated and compiled trace, the space, the hierarchy, and a Runner
+// configured with the spec's evaluation knobs. Workers build one Env per
+// job and share its session across every shard of that job they hold.
+type Env struct {
+	Trace     *trace.Trace
+	Compiled  *trace.Compiled
+	Space     *core.Space
+	Hierarchy *memhier.Hierarchy
+	Runner    *core.Runner
+}
+
+// BuildEnv resolves a spec into an evaluation environment. workers caps
+// the Runner's session pool; collector, when non-nil, receives the
+// environment's telemetry (pass nil to use a private collector).
+func BuildEnv(spec JobSpec, workers int, collector *telemetry.Collector) (*Env, error) {
+	hier, err := ResolveHierarchy(spec.Hierarchy)
+	if err != nil {
+		return nil, err
+	}
+	space, err := ResolveSpace(spec.Workload, spec.Space)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := workload.New(spec.Workload, spec.WorkloadSeed, spec.Scale)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := gen.Generate()
+	if err != nil {
+		return nil, err
+	}
+	ct, err := trace.Compile(tr)
+	if err != nil {
+		return nil, err
+	}
+	r := &core.Runner{
+		Hierarchy:   hier,
+		Trace:       tr,
+		Compiled:    ct,
+		Workers:     workers,
+		Telemetry:   collector,
+		Incremental: spec.Incremental,
+		EvalLatency: time.Duration(spec.EvalLatencyMS * float64(time.Millisecond)),
+	}
+	return &Env{Trace: tr, Compiled: ct, Space: space, Hierarchy: hier, Runner: r}, nil
+}
+
+// sweepIndices materializes a sweep job's index order: the identity
+// order for exhaustive sweeps, or the same seeded permutation prefix
+// core.Runner.Sample draws. Range shards slice this order, so the
+// sharded sweep evaluates exactly the set a local run would.
+func sweepIndices(spec JobSpec, size int) []int {
+	if spec.Sample > 0 && spec.Sample < size {
+		rng := stats.NewRNG(spec.SampleSeed)
+		return rng.Perm(size)[:spec.Sample]
+	}
+	indices := make([]int, size)
+	for i := range indices {
+		indices[i] = i
+	}
+	return indices
+}
+
+// planShards partitions a job into its shards: one island shard per
+// island for searches, ShardSize-index range shards for sweeps.
+func planShards(spec JobSpec, space *core.Space) []ShardState {
+	var shards []ShardState
+	if spec.Strategy == "nsga2" {
+		for i := 0; i < spec.Islands; i++ {
+			shards = append(shards, ShardState{ID: i + 1, Kind: "island", Island: i})
+		}
+		return shards
+	}
+	n := len(sweepIndices(spec, space.Size()))
+	id := 1
+	for lo := 0; lo < n; lo += spec.ShardSize {
+		hi := lo + spec.ShardSize
+		if hi > n {
+			hi = n
+		}
+		shards = append(shards, ShardState{ID: id, Kind: "range", Lo: lo, Hi: hi})
+		id++
+	}
+	return shards
+}

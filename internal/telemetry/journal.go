@@ -45,6 +45,14 @@ type Record struct {
 	// its first exact evaluation. See Origin and `dmreport -lineage`.
 	Origin *Origin `json:"origin,omitempty"`
 
+	// Distributed provenance, stamped by the coordinator/worker service
+	// (internal/serve): the 1-based shard and island the record came from
+	// and the worker that evaluated it. Zero/empty on local runs, so
+	// single-process journals are byte-identical to pre-service ones.
+	Shard  int    `json:"shard,omitempty"`
+	Island int    `json:"island,omitempty"`
+	Worker string `json:"worker,omitempty"`
+
 	// Headline metrics (omitted on error).
 	Accesses       uint64  `json:"accesses,omitempty"`
 	FootprintBytes int64   `json:"footprint_bytes,omitempty"`

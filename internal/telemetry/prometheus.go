@@ -142,3 +142,30 @@ func writeHistogram(b *strings.Builder, name, help, stage string, buckets []uint
 func promFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
+
+// PromSample is one labelled observation of a metric — the unit the
+// coordinator's per-worker / per-island exposition is built from.
+type PromSample struct {
+	Labels string // rendered label set, e.g. `worker="w1",island="2"` (no braces)
+	Value  float64
+}
+
+// WritePromSeries emits one metric family with any number of labelled
+// samples, HELP/TYPE header first. typ is "gauge" or "counter". The
+// coordinator uses it for dmserve_* families whose cardinality (workers,
+// islands, jobs) is only known at scrape time.
+func WritePromSeries(b *strings.Builder, name, typ, help string, samples []PromSample) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	for _, s := range samples {
+		if s.Labels == "" {
+			fmt.Fprintf(b, "%s %s\n", name, promFloat(s.Value))
+		} else {
+			fmt.Fprintf(b, "%s{%s} %s\n", name, s.Labels, promFloat(s.Value))
+		}
+	}
+}
+
+// PromLabel renders one label pair for a PromSample label set.
+func PromLabel(key, value string) string {
+	return fmt.Sprintf("%s=%q", key, value)
+}
